@@ -1,0 +1,71 @@
+// Ablation: BarterCast message selection sizes Nh / Nr (paper §3.4, §5.1).
+//
+// The paper fixes Nh = Nr = 10 without exploring the choice. This ablation
+// sweeps the selection size and reports how reputation consistency
+// (correlation with real net contribution) and subjective-graph coverage
+// respond. Expected shape: diminishing returns — tiny selections starve
+// the shared history; beyond ~10 records per side the gain flattens, which
+// is presumably why the deployed system shipped with 10.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "community/simulator.hpp"
+#include "figure_common.hpp"
+#include "trace/generator.hpp"
+
+using namespace bc;
+
+namespace {
+
+struct Result {
+  double pearson;
+  double mean_edges;  // average subjective-graph size over trace peers
+};
+
+Result run_selection(std::size_t nh, std::size_t nr) {
+  trace::GeneratorConfig tcfg;
+  tcfg.seed = 66;
+  tcfg.num_peers = 30;
+  tcfg.num_swarms = 4;
+  tcfg.duration = 2.0 * kDay;
+  tcfg.file_size_max = mib(700);
+
+  community::ScenarioConfig cfg;
+  cfg.seed = 66;
+  cfg.node.selection.nh = nh;
+  cfg.node.selection.nr = nr;
+  cfg.reputation_probe_interval = 4.0 * kHour;
+
+  community::CommunitySimulator sim(trace::generate(tcfg), cfg);
+  sim.run();
+  double edges = 0.0;
+  for (PeerId p = 0; p < sim.num_trace_peers(); ++p) {
+    edges += static_cast<double>(sim.node(p).view().graph().num_edges());
+  }
+  edges /= static_cast<double>(sim.num_trace_peers());
+  return Result{analysis::contribution_correlation(sim.metrics()), edges};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "message selection sizes Nh = Nr");
+  Table t({"Nh=Nr", "pearson", "avg_subjective_edges"});
+  double first = 0.0, last = 0.0;
+  const std::size_t sizes[] = {1, 2, 5, 10, 20};
+  for (std::size_t s : sizes) {
+    const Result r = run_selection(s, s);
+    if (s == sizes[0]) first = r.pearson;
+    last = r.pearson;
+    t.add_row({std::to_string(s), fmt(r.pearson, 3), fmt(r.mean_edges, 0)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nExpected shape: coverage (edges) grows with the selection "
+              "size; consistency improves from starved to saturated and "
+              "flattens around the paper's Nh = Nr = 10.\n");
+  const bool ok = last >= first;
+  std::printf("shape check (consistency does not degrade with more "
+              "records): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Ablation: maxflow path-length bound (paper §3.2).
+//
+// The paper restricts maxflow to paths of at most two edges, citing the
+// small-world effect (98% of peer pairs within two hops). This ablation
+// runs the same small community under path bounds 1, 2 and unbounded and
+// compares (a) how well the resulting system reputation tracks real net
+// contribution and (b) the run's wall-clock cost. The expected result — the
+// paper's design point — is that length 2 captures nearly all the accuracy
+// of unbounded maxflow at a fraction of the cost, while length 1 (direct
+// experience only) loses accuracy.
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "community/simulator.hpp"
+#include "figure_common.hpp"
+#include "trace/generator.hpp"
+
+using namespace bc;
+
+namespace {
+
+struct Result {
+  double pearson;
+  double spearman;
+  double wall_s;
+};
+
+Result run_mode(bartercast::MaxflowMode mode, int max_path_edges) {
+  trace::GeneratorConfig tcfg;
+  tcfg.seed = 55;
+  tcfg.num_peers = 30;
+  tcfg.num_swarms = 4;
+  tcfg.duration = 2.0 * kDay;
+  tcfg.file_size_max = mib(700);
+
+  community::ScenarioConfig cfg;
+  cfg.seed = 55;
+  cfg.node.reputation.mode = mode;
+  cfg.node.reputation.max_path_edges = max_path_edges;
+  cfg.reputation_probe_interval = 4.0 * kHour;
+
+  const auto start = std::chrono::steady_clock::now();
+  community::CommunitySimulator sim(trace::generate(tcfg), cfg);
+  sim.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return Result{analysis::contribution_correlation(sim.metrics()),
+                analysis::contribution_rank_correlation(sim.metrics()),
+                wall};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "maxflow path-length bound");
+  Table t({"variant", "pearson", "spearman", "wall_s"});
+
+  const Result direct =
+      run_mode(bartercast::MaxflowMode::kBoundedFordFulkerson, 1);
+  t.add_row({"paths<=1 (direct only)", fmt(direct.pearson, 3),
+             fmt(direct.spearman, 3), fmt(direct.wall_s, 1)});
+
+  const Result two = run_mode(bartercast::MaxflowMode::kTwoHopExact, 2);
+  t.add_row({"paths<=2 closed form (paper)", fmt(two.pearson, 3),
+             fmt(two.spearman, 3), fmt(two.wall_s, 1)});
+
+  const Result two_ff =
+      run_mode(bartercast::MaxflowMode::kBoundedFordFulkerson, 2);
+  t.add_row({"paths<=2 Ford-Fulkerson", fmt(two_ff.pearson, 3),
+             fmt(two_ff.spearman, 3), fmt(two_ff.wall_s, 1)});
+
+  const Result full = run_mode(bartercast::MaxflowMode::kFullFordFulkerson, 0);
+  t.add_row({"unbounded Ford-Fulkerson", fmt(full.pearson, 3),
+             fmt(full.spearman, 3), fmt(full.wall_s, 1)});
+
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nExpected shape: two-hop ~= unbounded accuracy, much lower "
+              "cost; the two paths<=2 variants agree (same maxflow, "
+              "different algorithm).\n");
+  const bool agree = std::abs(two.pearson - two_ff.pearson) < 1e-9;
+  const bool useful = two.pearson > 0.0;
+  std::printf("shape check (two-hop variants agree, correlation > 0): %s\n",
+              agree && useful ? "PASS" : "FAIL");
+  return agree && useful ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Extension experiment: the policy design space beyond rank and ban.
+//
+// §4.2: "many policies can be thought of that make more sophisticated use
+// of the long term reputation provided by BarterCast." This ablation runs
+// the full policy menu — none, rank, ban, and the combined rank+ban — on
+// one community and compares the freerider penalty each produces. It uses
+// the reduced configuration (this is an extension sweep, not a paper
+// figure; the paper-scale policy numbers live in fig2_policies).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "community/simulator.hpp"
+#include "trace/generator.hpp"
+#include "util/table.hpp"
+
+using namespace bc;
+
+namespace {
+
+struct Result {
+  double sharers;
+  double freeriders;
+  double ratio() const { return sharers > 0.0 ? freeriders / sharers : 0.0; }
+};
+
+Result run_policy(const bartercast::ReputationPolicy& policy) {
+  trace::GeneratorConfig tcfg;
+  tcfg.seed = 77;
+  tcfg.num_peers = 50;
+  tcfg.num_swarms = 6;
+  tcfg.duration = 4.0 * kDay;
+  tcfg.file_size_max = gib(1.0);
+
+  community::ScenarioConfig cfg;
+  cfg.seed = 77;
+  cfg.policy = policy;
+  community::CommunitySimulator sim(trace::generate(tcfg), cfg);
+  sim.run();
+  const auto& m = sim.metrics();
+  return {m.late_class_speed(false) / 1024.0,
+          m.late_class_speed(true) / 1024.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Policy design space (extension of §4.2)\n");
+  std::printf("50 peers, 6 swarms, 4 days, 50%% freeriders\n\n");
+
+  const std::vector<bartercast::ReputationPolicy> policies{
+      bartercast::ReputationPolicy::none(),
+      bartercast::ReputationPolicy::rank(),
+      bartercast::ReputationPolicy::ban(-0.5),
+      bartercast::ReputationPolicy::rank_ban(-0.5),
+  };
+  Table t({"policy", "sharers_KiBps", "freeriders_KiBps", "ratio"});
+  std::vector<Result> results;
+  for (const auto& policy : policies) {
+    const Result r = run_policy(policy);
+    results.push_back(r);
+    t.add_row({policy.name(), fmt(r.sharers, 0), fmt(r.freeriders, 0),
+               fmt(r.ratio(), 2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  // Shape: any reputation policy should punish freeriders relative to the
+  // policy-free baseline, and the combined policy should be at least as
+  // strict as plain ban.
+  const double base = results[0].ratio();
+  const bool rank_helps = results[1].ratio() <= base + 0.05;
+  const bool ban_helps = results[2].ratio() < base;
+  const bool combo_strict = results[3].ratio() <= results[2].ratio() + 0.1;
+  std::printf("\nshape check (rank <= baseline, ban < baseline, rank+ban "
+              "<= ban): %s\n",
+              rank_helps && ban_helps && combo_strict ? "PASS" : "FAIL");
+  return rank_helps && ban_helps && combo_strict ? 0 : 1;
+}

@@ -1,0 +1,215 @@
+// Extension experiment: whitewashing and stranger policies (paper §3.5).
+//
+// The paper's deployed system assumes permanent, machine-bound identifiers
+// and defers cheap-identity policies to future work. This experiment
+// implements that future work: a service community where providers grant
+// service by BarterCast reputation under the ban policy, consumers either
+// reciprocate (honest) or freeride, and freeriders may *whitewash* — assume
+// a fresh identity whenever their reputation falls below the ban threshold.
+//
+// Compared configurations:
+//   permanent           — identities cannot be shed (deployed Tribler);
+//   cheap + neutral     — whitewashing possible, strangers fully served;
+//   cheap + fixed(-.25) — strangers served at a fixed discount;
+//   cheap + adaptive    — strangers served in proportion to the EWMA of
+//                         the reputations known peers present when asking
+//                         for service (Feldman-style adaptive policy).
+//
+// Known peers are served under the plain ban rule; strangers are served
+// with probability p = clamp(1 + penalty/|ban threshold|, 0, 1), the graded
+// Feldman service rule (a binary ban cannot express a mild penalty). The
+// adaptive estimator implements Feldman's rule faithfully: each provider
+// remembers when it first served a stranger and, a few rounds later,
+// observes what reputation that former stranger turned out to earn.
+//
+// Expected shape (the classic whitewashing result): with cheap identities
+// and no penalty, freeriders regain full service by washing; a stranger
+// penalty curbs the washing payoff but taxes honest newcomers too;
+// permanent identities avoid the dilemma entirely.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bartercast/node.hpp"
+#include "identity/identity.hpp"
+#include "identity/stranger.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace bc;
+using namespace bc::bartercast;
+using namespace bc::identity;
+
+namespace {
+
+constexpr double kBanThreshold = -0.5;
+constexpr Bytes kChunk = gib(2.0);
+constexpr int kRounds = 120;
+constexpr std::size_t kProviders = 12;
+constexpr Bytes kShare = kChunk / static_cast<Bytes>(kProviders);
+constexpr std::size_t kHonest = 10;
+constexpr std::size_t kWashers = 10;
+
+struct Outcome {
+  double honest_gib = 0.0;        // per honest veteran user
+  double washer_gib = 0.0;        // per whitewashing freerider
+  double newcomer_gib = 0.0;      // honest user arriving mid-experiment
+  double washes_per_freerider = 0.0;
+};
+
+constexpr int kMaturity = 5;  // rounds between first service and judgment
+
+Outcome run(IdentityScheme scheme, StrangerPolicy policy) {
+  IdentityManager ids(scheme);
+  ReputationEngine engine;
+  Rng rng(1234);  // deterministic graded-service draws
+  // Per provider: identities first served as strangers, awaiting judgment.
+  std::vector<std::unordered_map<PeerId, int>> first_served(kProviders);
+
+  // Providers are fixed, mutually known infrastructure peers with large ids
+  // so identity minting (starting at 0) never collides.
+  std::vector<Node> providers;
+  std::vector<AdaptiveStrangerEstimator> estimators(
+      kProviders, AdaptiveStrangerEstimator(0.2));
+  providers.reserve(kProviders);
+  for (std::size_t p = 0; p < kProviders; ++p) {
+    providers.emplace_back(static_cast<PeerId>(1'000'000 + p));
+  }
+
+  struct User {
+    UserId user;
+    bool honest;
+    bool newcomer;
+    Bytes received = 0;
+  };
+  std::vector<User> users;
+  UserId next_user = 0;
+  for (std::size_t i = 0; i < kHonest; ++i) {
+    users.push_back({next_user, true, false, 0});
+    ids.register_user(next_user++);
+  }
+  for (std::size_t i = 0; i < kWashers; ++i) {
+    users.push_back({next_user, false, false, 0});
+    ids.register_user(next_user++);
+  }
+  // One honest newcomer joins halfway, measuring the policy's tax on
+  // legitimate new users.
+  bool newcomer_added = false;
+
+  Seconds now = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    // Judge matured former strangers (Feldman's adaptive observation).
+    for (std::size_t p = 0; p < kProviders; ++p) {
+      for (auto it = first_served[p].begin(); it != first_served[p].end();) {
+        if (round - it->second >= kMaturity) {
+          estimators[p].observe(engine.reputation(
+              providers[p].view().graph(), providers[p].id(), it->first));
+          it = first_served[p].erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (round == kRounds / 2 && !newcomer_added) {
+      users.push_back({next_user, true, true, 0});
+      ids.register_user(next_user++);
+      newcomer_added = true;
+    }
+    for (auto& user : users) {
+      const PeerId id = ids.current_identity(user.user);
+      bool banned_everywhere = true;
+      for (std::size_t p = 0; p < kProviders; ++p) {
+        Node& provider = providers[p];
+        const auto& graph = provider.view().graph();
+        bool serve = false;
+        const bool stranger =
+            StrangerPolicy::is_stranger(engine, graph, provider.id(), id);
+        if (stranger) {
+          // Graded Feldman service rule for strangers.
+          const double penalty = policy.effective_reputation(
+              engine, graph, provider.id(), id, estimators[p]);
+          const double prob =
+              std::clamp(1.0 + penalty / -kBanThreshold, 0.0, 1.0);
+          serve = rng.chance(prob);
+        } else {
+          serve = engine.reputation(graph, provider.id(), id) >=
+                  kBanThreshold;
+        }
+        if (!serve) continue;
+        if (stranger) first_served[p].emplace(id, round);
+        banned_everywhere = false;
+        provider.on_bytes_sent(id, kShare, now);
+        user.received += kShare;
+        if (user.honest) {
+          // Honest users reciprocate in kind.
+          provider.on_bytes_received(id, kShare, now);
+        }
+      }
+      // A freerider refused everywhere whitewashes if identities are cheap.
+      if (!user.honest && banned_everywhere &&
+          scheme == IdentityScheme::kCheap) {
+        ids.whitewash(user.user);
+      }
+      now += 1.0;
+    }
+  }
+
+  Outcome out;
+  double washes = 0.0;
+  for (const auto& user : users) {
+    if (user.newcomer) {
+      out.newcomer_gib = to_gib(user.received);
+    } else if (user.honest) {
+      out.honest_gib += to_gib(user.received) / static_cast<double>(kHonest);
+    } else {
+      out.washer_gib += to_gib(user.received) / static_cast<double>(kWashers);
+      washes += static_cast<double>(ids.identity_count(user.user)) - 1.0;
+    }
+  }
+  out.washes_per_freerider = washes / static_cast<double>(kWashers);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Whitewashing & stranger policies (extension of paper §3.5)\n");
+  std::printf("%zu providers, %zu honest users, %zu freeriders, %d rounds, "
+              "ban threshold %.1f\n\n",
+              kProviders, kHonest, kWashers, kRounds, kBanThreshold);
+
+  Table t({"scheme", "honest_GiB", "freerider_GiB", "newcomer_GiB",
+           "washes/freerider"});
+  const Outcome permanent =
+      run(IdentityScheme::kPermanent, StrangerPolicy::neutral());
+  t.add_row({"permanent ids", fmt(permanent.honest_gib, 1),
+             fmt(permanent.washer_gib, 1), fmt(permanent.newcomer_gib, 1),
+             fmt(permanent.washes_per_freerider, 1)});
+  const Outcome neutral =
+      run(IdentityScheme::kCheap, StrangerPolicy::neutral());
+  t.add_row({"cheap + neutral strangers", fmt(neutral.honest_gib, 1),
+             fmt(neutral.washer_gib, 1), fmt(neutral.newcomer_gib, 1),
+             fmt(neutral.washes_per_freerider, 1)});
+  const Outcome fixed =
+      run(IdentityScheme::kCheap, StrangerPolicy::fixed(-0.25));
+  t.add_row({"cheap + fixed(-0.25)", fmt(fixed.honest_gib, 1),
+             fmt(fixed.washer_gib, 1), fmt(fixed.newcomer_gib, 1),
+             fmt(fixed.washes_per_freerider, 1)});
+  const Outcome adaptive =
+      run(IdentityScheme::kCheap, StrangerPolicy::adaptive());
+  t.add_row({"cheap + adaptive", fmt(adaptive.honest_gib, 1),
+             fmt(adaptive.washer_gib, 1), fmt(adaptive.newcomer_gib, 1),
+             fmt(adaptive.washes_per_freerider, 1)});
+  std::printf("%s", t.to_string().c_str());
+
+  const bool washing_pays = neutral.washer_gib > 1.3 * permanent.washer_gib;
+  const bool adaptive_curbs = adaptive.washer_gib < 0.9 * neutral.washer_gib;
+  const bool honest_unhurt = adaptive.honest_gib > 0.9 * neutral.honest_gib;
+  std::printf("\nshape checks: washing pays without penalty: %s; adaptive "
+              "curbs washing: %s; honest veterans unaffected: %s\n",
+              washing_pays ? "PASS" : "FAIL",
+              adaptive_curbs ? "PASS" : "FAIL",
+              honest_unhurt ? "PASS" : "FAIL");
+  return washing_pays && adaptive_curbs && honest_unhurt ? 0 : 1;
+}

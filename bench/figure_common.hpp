@@ -1,0 +1,53 @@
+// Shared setup for the figure-reproduction benches.
+//
+// Every fig*_ binary replays the paper's simulation setup (§5.1): N = 100
+// peers in 10 swarms over one week, 50% lazy freeriders, sharers seeding
+// 10 h, ADSL access links, Nh = Nr = 10. Set BC_QUICK=1 to run a reduced
+// configuration (fewer peers/swarms, 3 days) when iterating; the qualitative
+// shapes survive the reduction but the reported numbers are then not the
+// paper-scale ones.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "community/scenario.hpp"
+#include "community/simulator.hpp"
+#include "trace/generator.hpp"
+#include "util/units.hpp"
+
+namespace bench {
+
+inline bool quick_mode() {
+  const char* v = std::getenv("BC_QUICK");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+inline bc::trace::GeneratorConfig paper_trace(std::uint64_t seed) {
+  bc::trace::GeneratorConfig cfg;  // defaults follow §5.1 already
+  cfg.seed = seed;
+  if (quick_mode()) {
+    cfg.num_peers = 40;
+    cfg.num_swarms = 6;
+    cfg.duration = 3.0 * bc::kDay;
+    cfg.file_size_max = bc::gib(1.0);
+  }
+  return cfg;
+}
+
+inline bc::community::ScenarioConfig paper_scenario(std::uint64_t seed) {
+  bc::community::ScenarioConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("mode: %s\n", quick_mode() ? "QUICK (BC_QUICK=1)" : "paper scale");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench

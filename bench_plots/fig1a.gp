@@ -1,0 +1,7 @@
+set terminal pngcairo size 800,500
+set output 'fig1a.png'
+set title 'average system reputation'
+set xlabel 'time (days)'
+set ylabel 'system reputation'
+set key top left
+plot 'fig1a.dat' using 1:2 with lines lw 2 title 'sharers', 'fig1a.dat' using 1:3 with lines lw 2 title 'freeriders'

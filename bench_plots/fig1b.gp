@@ -1,0 +1,6 @@
+set terminal pngcairo size 800,500
+set output 'fig1b.png'
+set title 'system reputation vs net contribution'
+set xlabel 'net contribution (GiB)'
+set ylabel 'system reputation'
+plot 'fig1b.dat' using 1:($3==0?$2:1/0) with points pt 7 title 'sharers', 'fig1b.dat' using 1:($3==1?$2:1/0) with points pt 5 title 'freeriders'

@@ -1,0 +1,7 @@
+set terminal pngcairo size 800,500
+set output 'fig2b_ban.png'
+set title 'average download speed'
+set xlabel 'time (days)'
+set ylabel 'download speed (KiB/s)'
+set key top left
+plot 'fig2b_ban.dat' using 1:2 with lines lw 2 title 'sharers', 'fig2b_ban.dat' using 1:3 with lines lw 2 title 'freeriders'

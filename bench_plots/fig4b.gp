@@ -1,0 +1,7 @@
+set terminal pngcairo size 800,500
+set output 'fig4b.png'
+set title 'cumulative distribution'
+set xlabel 'reputation at the observer'
+set ylabel 'cdf'
+set yrange [0:1]
+plot 'fig4b.dat' using 1:2 with steps lw 2 notitle

@@ -1,0 +1,55 @@
+// Quickstart: the BarterCast public API in ~60 lines.
+//
+// Three peers barter; Alice learns about Carol only through Bob's gossip,
+// and the maxflow metric turns that indirect knowledge into a reputation
+// that is bounded by what Alice directly received from Bob.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "bartercast/node.hpp"
+
+using namespace bc;
+
+int main() {
+  constexpr PeerId kAlice = 0, kBob = 1, kCarol = 2;
+
+  bartercast::NodeConfig cfg;
+  cfg.reputation.arctan_unit = mib(100);  // reputation knee at ~100 MiB
+
+  bartercast::Node alice(kAlice, cfg);
+  bartercast::Node bob(kBob, cfg);
+  bartercast::Node carol(kCarol, cfg);
+
+  // Direct experience: Bob uploads 400 MiB to Alice; Carol uploads
+  // 300 MiB to Bob (Alice never talks to Carol directly).
+  Seconds now = 0.0;
+  bob.on_bytes_sent(kAlice, mib(400), now);
+  alice.on_bytes_received(kBob, mib(400), now);
+  carol.on_bytes_sent(kBob, mib(300), now);
+  bob.on_bytes_received(kCarol, mib(300), now);
+
+  // Gossip: Bob sends Alice his BarterCast message (top-Nh uploaders plus
+  // most recent peers from his private history).
+  now += 60.0;
+  alice.receive_message(bob.make_message(now));
+
+  std::printf("Alice's subjective reputations (Equation 1):\n");
+  std::printf("  R_alice(bob)   = %+.3f   (direct: received 400 MiB)\n",
+              alice.reputation(kBob));
+  std::printf("  R_alice(carol) = %+.3f   (indirect via Bob's message)\n",
+              alice.reputation(kCarol));
+
+  // The containment property: Carol's reputation at Alice is bounded by the
+  // service Alice received from Bob, however much Carol (or Bob) claims.
+  bartercast::BarterCastMessage inflated = bob.make_message(now);
+  for (auto& r : inflated.records) {
+    if (r.other == kCarol) r.other_to_subject = gib(1000);  // wild claim
+  }
+  alice.receive_message(inflated);
+  std::printf(
+      "  R_alice(carol) = %+.3f   after a 1000 GiB claim "
+      "(capped by Bob->Alice)\n",
+      alice.reputation(kCarol));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Example: a small trace-driven community simulation.
+//
+// Generates a 2-day synthetic trace (30 peers, 4 swarms), runs the full
+// stack (BitTorrent + PSS + BarterCast + ban policy) and prints the
+// per-class download speeds and reputations over time.
+//
+// Build & run:  ./build/examples/swarm_simulation
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "community/simulator.hpp"
+#include "trace/generator.hpp"
+
+using namespace bc;
+
+int main() {
+  trace::GeneratorConfig tcfg;
+  tcfg.seed = 2024;
+  tcfg.num_peers = 30;
+  tcfg.num_swarms = 4;
+  tcfg.duration = 2.0 * kDay;
+  tcfg.file_size_max = mib(600);
+  tcfg.requests_per_peer_min = 2;
+  tcfg.requests_per_peer_max = 4;
+
+  community::ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.policy = bartercast::ReputationPolicy::ban(-0.5);
+  cfg.series_bin = 2.0 * kHour;
+
+  community::CommunitySimulator sim(trace::generate(tcfg), cfg);
+  sim.run();
+  const auto& m = sim.metrics();
+
+  std::printf("== download speed over time (policy: %s) ==\n",
+              cfg.policy.name().c_str());
+  std::cout << analysis::speed_table(m, kHour).to_string();
+
+  std::printf("\n== system reputation over time ==\n");
+  std::cout << analysis::reputation_table(m, kHour).to_string();
+
+  std::printf("\n== per-peer outcome ==\n");
+  Table t({"peer", "class", "up", "down", "reputation", "completed"});
+  for (const auto& o : m.outcomes) {
+    t.add_row({std::to_string(o.peer),
+               community::is_freerider(o.behavior) ? "freerider" : "sharer",
+               fmt_bytes(o.total_uploaded), fmt_bytes(o.total_downloaded),
+               fmt(o.final_system_reputation, 3),
+               std::to_string(o.files_completed) + "/" +
+                   std::to_string(o.files_requested)});
+  }
+  std::cout << t.to_string();
+
+  std::printf("\ncontribution/reputation correlation: pearson=%.3f\n",
+              analysis::contribution_correlation(m));
+  std::printf("messages: %llu sent, %llu received, %llu records applied\n",
+              static_cast<unsigned long long>(m.messages.messages_sent),
+              static_cast<unsigned long long>(m.messages.messages_received),
+              static_cast<unsigned long long>(m.messages.records_applied));
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "analysis/deployment_observer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "bartercast/history.hpp"
+#include "bartercast/message.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bc::analysis {
+
+double ObserverResult::fraction_negative(double epsilon) const {
+  if (reputations.empty()) return 0.0;
+  const auto n = std::count_if(reputations.begin(), reputations.end(),
+                               [&](double r) { return r < -epsilon; });
+  return static_cast<double>(n) / static_cast<double>(reputations.size());
+}
+
+double ObserverResult::fraction_zero(double epsilon) const {
+  if (reputations.empty()) return 0.0;
+  const auto n = std::count_if(reputations.begin(), reputations.end(),
+                               [&](double r) { return std::abs(r) <= epsilon; });
+  return static_cast<double>(n) / static_cast<double>(reputations.size());
+}
+
+double ObserverResult::fraction_positive(double epsilon) const {
+  if (reputations.empty()) return 0.0;
+  const auto n = std::count_if(reputations.begin(), reputations.end(),
+                               [&](double r) { return r > epsilon; });
+  return static_cast<double>(n) / static_cast<double>(reputations.size());
+}
+
+std::vector<CdfPoint> ObserverResult::reputation_cdf() const {
+  return empirical_cdf(reputations);
+}
+
+ObserverResult run_observer(const trace::DeploymentPopulation& population,
+                            const ObserverConfig& config) {
+  BC_ASSERT(population.num_peers >= 2);
+  Rng rng(config.seed);
+
+  // Reconstruct every peer's private history from the transfer edges.
+  // Pseudo-timestamps (edge index) order the most-recently-seen selection.
+  std::vector<bartercast::PrivateHistory> histories;
+  histories.reserve(population.num_peers);
+  for (PeerId i = 0; i < population.num_peers; ++i) {
+    histories.emplace_back(i);
+  }
+  Seconds t = 0.0;
+  for (const auto& edge : population.transfers) {
+    histories[edge.from].record_upload(edge.to, edge.amount, t);
+    histories[edge.to].record_download(edge.from, edge.amount, t);
+    t += 1.0;
+  }
+
+  // The observer participates: direct barter with a subset of peers chosen
+  // proportionally to their activity (one barters with the active hubs, not
+  // with idle installs). These owner-incident edges are what anchor every
+  // two-hop maxflow path — without them all reputations would be zero.
+  const auto observer_id = static_cast<PeerId>(population.num_peers);
+  bartercast::Node observer(observer_id, config.node);
+  std::vector<double> cum(population.num_peers);
+  double acc = 0.0;
+  for (PeerId i = 0; i < population.num_peers; ++i) {
+    acc += static_cast<double>(population.total_up[i] +
+                               population.total_down[i]);
+    cum[i] = acc;
+  }
+  std::vector<PeerId> partners;
+  if (acc > 0.0) {
+    std::unordered_set<PeerId> chosen;
+    std::size_t attempts = 0;
+    while (chosen.size() < config.direct_partners &&
+           attempts < 50 * config.direct_partners) {
+      ++attempts;
+      const double r = rng.uniform(0.0, acc);
+      const auto it = std::lower_bound(cum.begin(), cum.end(), r);
+      chosen.insert(static_cast<PeerId>(it - cum.begin()));
+    }
+    partners.assign(chosen.begin(), chosen.end());
+    std::sort(partners.begin(), partners.end());
+  }
+  for (PeerId p : partners) {
+    const auto up = static_cast<Bytes>(
+        rng.exponential(static_cast<double>(config.direct_transfer_mean)));
+    const auto down = static_cast<Bytes>(
+        rng.exponential(static_cast<double>(config.direct_transfer_mean)));
+    if (up > 0) {
+      observer.on_bytes_sent(p, up, t);
+      histories[p].record_download(observer_id, up, t);
+    }
+    if (down > 0) {
+      observer.on_bytes_received(p, down, t);
+      histories[p].record_upload(observer_id, down, t);
+    }
+    t += 1.0;
+  }
+
+  // One month of logging: every active peer's BarterCast message reaches
+  // the observer (the paper's customized peer logged all messages it saw).
+  ObserverResult result;
+  for (PeerId i = 0; i < population.num_peers; ++i) {
+    if (histories[i].size() == 0) continue;  // idle install, nothing to say
+    const auto msg =
+        bartercast::build_message(histories[i], config.sender_selection, t);
+    const auto stats = observer.receive_message(msg);
+    ++result.messages_logged;
+    result.records_applied += stats.applied;
+  }
+
+  result.reputations.resize(population.num_peers);
+  result.net_contribution.resize(population.num_peers);
+  for (PeerId i = 0; i < population.num_peers; ++i) {
+    result.reputations[i] = observer.reputation(i);
+    result.net_contribution[i] =
+        population.total_up[i] - population.total_down[i];
+  }
+  return result;
+}
+
+}  // namespace bc::analysis

@@ -1,0 +1,53 @@
+// Instrumented-observer experiment (Figure 4).
+//
+// Replays a synthetic deployment population through the real BarterCast
+// code paths, from the perspective of one instrumented peer ("a customized
+// peer participating in the network", §5.5): every active peer's BarterCast
+// message (built from its private history with the standard Nh/Nr
+// selection) is logged by the observer, which merges them into its
+// subjective history and then computes every peer's reputation with
+// Equation 1. The observer also participates: it barters directly with a
+// random subset of peers, which is what anchors the two-hop maxflow paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bartercast/node.hpp"
+#include "trace/deployment.hpp"
+#include "util/histogram.hpp"
+
+namespace bc::analysis {
+
+struct ObserverConfig {
+  std::uint64_t seed = 99;
+  /// Number of population peers the observer bartered with directly.
+  std::size_t direct_partners = 250;
+  /// Scale (mean) of a direct transfer with the observer, each way.
+  Bytes direct_transfer_mean = mib(150);
+  bartercast::NodeConfig node;  // observer's BarterCast configuration
+  bartercast::MessageSelection sender_selection;  // Nh/Nr of the senders
+};
+
+struct ObserverResult {
+  /// Reputation of every population peer at the observer, indexed by peer.
+  std::vector<double> reputations;
+  /// Ground-truth net contribution (up - down) per peer, indexed by peer.
+  std::vector<Bytes> net_contribution;
+
+  std::size_t messages_logged = 0;
+  std::size_t records_applied = 0;
+
+  /// Fractions of peers with negative / zero-ish / positive reputation
+  /// (|r| <= epsilon counts as zero), the §5.5 headline split.
+  double fraction_negative(double epsilon = 1e-4) const;
+  double fraction_zero(double epsilon = 1e-4) const;
+  double fraction_positive(double epsilon = 1e-4) const;
+
+  std::vector<CdfPoint> reputation_cdf() const;
+};
+
+ObserverResult run_observer(const trace::DeploymentPopulation& population,
+                            const ObserverConfig& config);
+
+}  // namespace bc::analysis

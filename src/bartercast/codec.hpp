@@ -1,0 +1,51 @@
+// Wire format for BarterCast messages.
+//
+// A deployed client ships messages over UDP/TCP; this codec defines the
+// byte format and implements bounds-checked encode/decode. The format is
+// deliberately simple and versioned:
+//
+//   u8  magic      0xBC
+//   u8  version    1
+//   u32 sender
+//   f64 sent_at
+//   u16 record_count                  (hard-capped, see kMaxRecords)
+//   repeated record_count times:
+//     u32 subject
+//     u32 other
+//     u64 subject_to_other            (bytes)
+//     u64 other_to_subject            (bytes)
+//
+// All integers little-endian. Decoding is total: any malformed input
+// (truncation, bad magic/version, oversized count, negative amounts after
+// casting) yields std::nullopt, never UB — the input is attacker-controlled
+// by definition.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bartercast/message.hpp"
+
+namespace bc::bartercast {
+
+/// Upper bound on records per message. The protocol sends Nh + Nr <= ~20;
+/// the cap keeps a malicious 64 KiB count from allocating gigabytes.
+inline constexpr std::size_t kMaxRecords = 256;
+
+inline constexpr std::uint8_t kWireMagic = 0xBC;
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Serialized size in bytes of a message with `records` records.
+std::size_t encoded_size(std::size_t records);
+
+/// Encodes a message. Asserts records <= kMaxRecords and non-negative
+/// amounts (the library never produces anything else).
+std::vector<std::uint8_t> encode(const BarterCastMessage& message);
+
+/// Decodes a message; std::nullopt on any malformed input. Trailing bytes
+/// after a well-formed message are rejected (one datagram = one message).
+std::optional<BarterCastMessage> decode(std::span<const std::uint8_t> data);
+
+}  // namespace bc::bartercast

@@ -1,0 +1,96 @@
+#include "bartercast/history.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bc::bartercast {
+
+HistoryEntry& PrivateHistory::entry(PeerId remote, Seconds now) {
+  BC_ASSERT_MSG(remote != owner_, "no history entry for the owner itself");
+  auto [it, inserted] = entries_.try_emplace(remote);
+  if (inserted) {
+    it->second.peer = remote;
+    it->second.last_seen = now;
+  } else {
+    it->second.last_seen = std::max(it->second.last_seen, now);
+  }
+  return it->second;
+}
+
+void PrivateHistory::record_upload(PeerId remote, Bytes amount, Seconds now) {
+  BC_ASSERT(amount >= 0);
+  entry(remote, now).uploaded += amount;
+  total_up_ += amount;
+}
+
+void PrivateHistory::record_download(PeerId remote, Bytes amount,
+                                     Seconds now) {
+  BC_ASSERT(amount >= 0);
+  entry(remote, now).downloaded += amount;
+  total_down_ += amount;
+}
+
+void PrivateHistory::touch(PeerId remote, Seconds now) { entry(remote, now); }
+
+Bytes PrivateHistory::uploaded_to(PeerId remote) const {
+  auto it = entries_.find(remote);
+  return it == entries_.end() ? 0 : it->second.uploaded;
+}
+
+Bytes PrivateHistory::downloaded_from(PeerId remote) const {
+  auto it = entries_.find(remote);
+  return it == entries_.end() ? 0 : it->second.downloaded;
+}
+
+std::vector<PeerId> PrivateHistory::top_uploaders(std::size_t n) const {
+  std::vector<const HistoryEntry*> all;
+  all.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) all.push_back(&e);
+  std::sort(all.begin(), all.end(),
+            [](const HistoryEntry* a, const HistoryEntry* b) {
+              if (a->downloaded != b->downloaded) {
+                return a->downloaded > b->downloaded;
+              }
+              return a->peer < b->peer;
+            });
+  std::vector<PeerId> out;
+  out.reserve(std::min(n, all.size()));
+  for (std::size_t i = 0; i < all.size() && i < n; ++i) {
+    out.push_back(all[i]->peer);
+  }
+  return out;
+}
+
+std::vector<PeerId> PrivateHistory::most_recent(std::size_t n) const {
+  std::vector<const HistoryEntry*> all;
+  all.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) all.push_back(&e);
+  std::sort(all.begin(), all.end(),
+            [](const HistoryEntry* a, const HistoryEntry* b) {
+              if (a->last_seen != b->last_seen) {
+                return a->last_seen > b->last_seen;
+              }
+              return a->peer < b->peer;
+            });
+  std::vector<PeerId> out;
+  out.reserve(std::min(n, all.size()));
+  for (std::size_t i = 0; i < all.size() && i < n; ++i) {
+    out.push_back(all[i]->peer);
+  }
+  return out;
+}
+
+std::vector<HistoryEntry> PrivateHistory::entries() const {
+  std::vector<HistoryEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) out.push_back(e);
+  return out;
+}
+
+const HistoryEntry* PrivateHistory::find(PeerId remote) const {
+  auto it = entries_.find(remote);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bc::bartercast

@@ -1,0 +1,56 @@
+#include "bartercast/message.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bc::bartercast {
+
+namespace {
+
+/// The deduplicated Nh + Nr peer selection of §3.4.
+std::vector<PeerId> select_peers(const PrivateHistory& history,
+                                 const MessageSelection& selection) {
+  std::vector<PeerId> peers = history.top_uploaders(selection.nh);
+  for (PeerId p : history.most_recent(selection.nr)) {
+    if (std::find(peers.begin(), peers.end(), p) == peers.end()) {
+      peers.push_back(p);
+    }
+  }
+  return peers;
+}
+
+}  // namespace
+
+BarterCastMessage build_message(const PrivateHistory& history,
+                                const MessageSelection& selection,
+                                Seconds now) {
+  BarterCastMessage msg;
+  msg.sender = history.owner();
+  msg.sent_at = now;
+  for (PeerId p : select_peers(history, selection)) {
+    const HistoryEntry* e = history.find(p);
+    BC_ASSERT(e != nullptr);
+    BarterRecord r;
+    r.subject = history.owner();
+    r.other = p;
+    r.subject_to_other = e->uploaded;
+    r.other_to_subject = e->downloaded;
+    msg.records.push_back(r);
+  }
+  return msg;
+}
+
+BarterCastMessage build_lying_message(const PrivateHistory& history,
+                                      const MessageSelection& selection,
+                                      Bytes claimed_upload, Seconds now) {
+  BC_ASSERT(claimed_upload >= 0);
+  BarterCastMessage msg = build_message(history, selection, now);
+  for (auto& r : msg.records) {
+    r.subject_to_other = claimed_upload;
+    r.other_to_subject = 0;
+  }
+  return msg;
+}
+
+}  // namespace bc::bartercast

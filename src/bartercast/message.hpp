@@ -1,0 +1,55 @@
+// BarterCast message format and construction (paper §3.4).
+//
+// "Peer i selects for its messages the records of the Nh peers with the
+// highest upload to i as well as the Nr peers most recently seen by i."
+// A record is the sender's cumulative view of the transfers between itself
+// and one other peer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bartercast/history.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace bc::bartercast {
+
+/// One record of a BarterCast message: the sender's claim about the
+/// cumulative transfers between `subject` (normally the sender itself) and
+/// `other`.
+struct BarterRecord {
+  PeerId subject = kInvalidPeer;
+  PeerId other = kInvalidPeer;
+  Bytes subject_to_other = 0;  // bytes `subject` uploaded to `other`
+  Bytes other_to_subject = 0;  // bytes `other` uploaded to `subject`
+  friend bool operator==(const BarterRecord&, const BarterRecord&) = default;
+};
+
+struct BarterCastMessage {
+  PeerId sender = kInvalidPeer;
+  Seconds sent_at = 0.0;
+  std::vector<BarterRecord> records;
+};
+
+struct MessageSelection {
+  std::size_t nh = 10;  // highest-upload entries
+  std::size_t nr = 10;  // most-recently-seen entries
+};
+
+/// Builds an honest message from the owner's private history: records of the
+/// top-Nh uploaders plus the Nr most recent peers (duplicates collapsed, so
+/// the message carries between max(Nh,Nr) and Nh+Nr records when the history
+/// is large enough).
+BarterCastMessage build_message(const PrivateHistory& history,
+                                const MessageSelection& selection,
+                                Seconds now);
+
+/// Builds the message a selfish liar sends (paper §5.4 manipulation (2)):
+/// for every peer it would honestly report on, it claims it uploaded
+/// `claimed_upload` bytes and received nothing.
+BarterCastMessage build_lying_message(const PrivateHistory& history,
+                                      const MessageSelection& selection,
+                                      Bytes claimed_upload, Seconds now);
+
+}  // namespace bc::bartercast

@@ -1,0 +1,45 @@
+// Node state persistence.
+//
+// A deployed BarterCast client keeps its barter database across sessions
+// (Tribler persists it on disk); losing the private history would reset
+// every reputation to newcomer level. This module serializes a Node's state
+// to a line-oriented text format and restores it through the Node's public
+// mutation API, so every integrity rule (owner-incident edges only from
+// private history, remote edges max-merged) applies to loaded data exactly
+// as it does to live data — a corrupted or tampered state file can degrade
+// a node's knowledge but never its invariants.
+//
+// Format (one file per node):
+//   #bartercast-node,<format version>,<peer id>
+//   #history,<peer>,<uploaded>,<downloaded>,<last_seen>
+//   #edge,<from>,<to>,<bytes>            (remote edges of the view)
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bartercast/node.hpp"
+
+namespace bc::bartercast {
+
+inline constexpr int kPersistenceVersion = 1;
+
+/// Writes the node's private history and the remote edges of its subjective
+/// view. Deterministic output (sorted) so state files diff cleanly.
+void save_node(const Node& node, std::ostream& os);
+std::string save_node_to_string(const Node& node);
+
+/// Restores a node. The node's config is supplied by the caller (policy and
+/// engine settings are not state). Returns nullptr and fills *error on
+/// malformed input. Loading replays through the public API, so invalid
+/// records (self-edges, negative amounts) are rejected as errors rather
+/// than silently admitted.
+std::unique_ptr<Node> load_node(std::istream& is, const NodeConfig& config,
+                                std::string* error = nullptr);
+std::unique_ptr<Node> load_node_from_string(const std::string& text,
+                                            const NodeConfig& config,
+                                            std::string* error = nullptr);
+
+}  // namespace bc::bartercast

@@ -1,0 +1,34 @@
+#include "bartercast/policy.hpp"
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace bc::bartercast {
+
+ReputationPolicy ReputationPolicy::ban(double threshold) {
+  BC_ASSERT_MSG(threshold >= -1.0 && threshold <= 0.0,
+                "ban threshold is a negative reputation value in [-1, 0]");
+  return ReputationPolicy(PolicyKind::kBan, threshold);
+}
+
+ReputationPolicy ReputationPolicy::rank_ban(double threshold) {
+  BC_ASSERT_MSG(threshold >= -1.0 && threshold <= 0.0,
+                "ban threshold is a negative reputation value in [-1, 0]");
+  return ReputationPolicy(PolicyKind::kRankBan, threshold);
+}
+
+std::string ReputationPolicy::name() const {
+  switch (kind_) {
+    case PolicyKind::kNone:
+      return "none";
+    case PolicyKind::kRank:
+      return "rank";
+    case PolicyKind::kBan:
+      return "ban(" + fmt(threshold_, 2) + ")";
+    case PolicyKind::kRankBan:
+      return "rank+ban(" + fmt(threshold_, 2) + ")";
+  }
+  return "?";
+}
+
+}  // namespace bc::bartercast

@@ -1,0 +1,65 @@
+// Reputation policies for BitTorrent (paper §4.2).
+//
+//  * rank: "Peers assign optimistic unchoke slots to the interested peers in
+//    order of their reputation."
+//  * ban: "Peers do not assign any upload slots to peers that have a
+//    reputation which is below a certain negative threshold delta."
+//
+// The policy object is consulted by the BitTorrent choker; it is a small
+// value type so every simulated peer can carry its own copy.
+#pragma once
+
+#include <string>
+
+namespace bc::bartercast {
+
+enum class PolicyKind {
+  kNone,  // plain BitTorrent (tit-for-tat only)
+  kRank,
+  kBan,
+  kRankBan,  // extension: rank the optimistic slot AND ban below delta
+};
+
+class ReputationPolicy {
+ public:
+  /// Plain tit-for-tat BitTorrent, no reputation use.
+  static ReputationPolicy none() { return ReputationPolicy(PolicyKind::kNone, 0.0); }
+  /// Optimistic unchokes in decreasing reputation order.
+  static ReputationPolicy rank() { return ReputationPolicy(PolicyKind::kRank, 0.0); }
+  /// No slots at all below `threshold` (the paper's delta, e.g. -0.5).
+  static ReputationPolicy ban(double threshold);
+  /// Extension (§4.2 invites richer policies): both at once — optimistic
+  /// slots by reputation order and a hard ban below `threshold`.
+  static ReputationPolicy rank_ban(double threshold);
+
+  PolicyKind kind() const { return kind_; }
+  double ban_threshold() const { return threshold_; }
+
+  /// Whether a peer with this reputation may receive *any* upload slot.
+  bool allows_slot(double reputation) const {
+    if (kind_ != PolicyKind::kBan && kind_ != PolicyKind::kRankBan) {
+      return true;
+    }
+    return reputation >= threshold_;
+  }
+
+  /// Whether optimistic unchoking should pick by reputation rank instead of
+  /// the round-robin rotation.
+  bool ranked_optimistic() const {
+    return kind_ == PolicyKind::kRank || kind_ == PolicyKind::kRankBan;
+  }
+
+  std::string name() const;
+
+  friend bool operator==(const ReputationPolicy&,
+                         const ReputationPolicy&) = default;
+
+ private:
+  ReputationPolicy(PolicyKind kind, double threshold)
+      : kind_(kind), threshold_(threshold) {}
+
+  PolicyKind kind_;
+  double threshold_;
+};
+
+}  // namespace bc::bartercast

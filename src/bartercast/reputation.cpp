@@ -1,0 +1,61 @@
+#include "bartercast/reputation.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bc::bartercast {
+
+ReputationEngine::ReputationEngine(ReputationConfig config)
+    : config_(config) {
+  BC_ASSERT(config_.arctan_unit > 0);
+  BC_ASSERT(config_.max_path_edges >= 1 ||
+            config_.mode != MaxflowMode::kBoundedFordFulkerson);
+}
+
+Bytes ReputationEngine::flow(const graph::FlowGraph& graph, PeerId from,
+                             PeerId to) const {
+  switch (config_.mode) {
+    case MaxflowMode::kTwoHopExact:
+      return graph::max_flow_two_hop(graph, from, to);
+    case MaxflowMode::kBoundedFordFulkerson:
+      return graph::max_flow_ford_fulkerson(graph, from, to,
+                                            config_.max_path_edges);
+    case MaxflowMode::kFullFordFulkerson:
+      return graph::max_flow_ford_fulkerson(graph, from, to);
+  }
+  return 0;
+}
+
+double ReputationEngine::scale(Bytes flow_difference) const {
+  const double x = static_cast<double>(flow_difference) /
+                   static_cast<double>(config_.arctan_unit);
+  return std::atan(x) / (M_PI / 2.0);
+}
+
+double ReputationEngine::reputation(const graph::FlowGraph& graph,
+                                    PeerId evaluator, PeerId subject) const {
+  if (evaluator == subject) return 0.0;
+  const Bytes toward = flow(graph, subject, evaluator);
+  const Bytes away = flow(graph, evaluator, subject);
+  return scale(toward - away);
+}
+
+double ReputationEngine::reputation(const SharedHistory& view,
+                                    PeerId subject) const {
+  return reputation(view.graph(), view.owner(), subject);
+}
+
+double CachedReputation::reputation(PeerId subject) {
+  auto [it, inserted] = cache_.try_emplace(subject);
+  if (!inserted && it->second.version == view_.version()) {
+    ++hits_;
+    return it->second.value;
+  }
+  ++misses_;
+  it->second.version = view_.version();
+  it->second.value = engine_.reputation(view_, subject);
+  return it->second.value;
+}
+
+}  // namespace bc::bartercast

@@ -1,0 +1,64 @@
+#include "bartercast/shared_history.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bc::bartercast {
+
+void SharedHistory::record_local_upload(PeerId remote, Bytes amount) {
+  BC_ASSERT(amount >= 0);
+  BC_ASSERT(remote != owner_);
+  if (amount == 0) return;
+  graph_.add_capacity(owner_, remote, amount);
+  ++version_;
+}
+
+void SharedHistory::record_local_download(PeerId remote, Bytes amount) {
+  BC_ASSERT(amount >= 0);
+  BC_ASSERT(remote != owner_);
+  if (amount == 0) return;
+  graph_.add_capacity(remote, owner_, amount);
+  ++version_;
+}
+
+SharedHistory::ApplyStats SharedHistory::apply_message(
+    const BarterCastMessage& message) {
+  ApplyStats stats;
+  for (const BarterRecord& r : message.records) {
+    // Rule 2: a record must involve its sender.
+    if (r.subject != message.sender && r.other != message.sender) {
+      ++stats.dropped_third_party;
+      continue;
+    }
+    if (r.subject == r.other) {
+      ++stats.dropped_self_report;
+      continue;
+    }
+    // Rule 1: owner-incident edges are authoritative (private history).
+    if (r.subject == owner_ || r.other == owner_) {
+      ++stats.dropped_own_edge;
+      continue;
+    }
+    bool changed = false;
+    if (r.subject_to_other > 0) {
+      const Bytes current = graph_.capacity(r.subject, r.other);
+      if (r.subject_to_other > current) {
+        graph_.set_capacity(r.subject, r.other, r.subject_to_other);
+        changed = true;
+      }
+    }
+    if (r.other_to_subject > 0) {
+      const Bytes current = graph_.capacity(r.other, r.subject);
+      if (r.other_to_subject > current) {
+        graph_.set_capacity(r.other, r.subject, r.other_to_subject);
+        changed = true;
+      }
+    }
+    if (changed) ++version_;
+    ++stats.applied;
+  }
+  return stats;
+}
+
+}  // namespace bc::bartercast

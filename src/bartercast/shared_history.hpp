@@ -1,0 +1,65 @@
+// Subjective shared history (paper §3.4).
+//
+// Each peer assembles its private history plus the records received in
+// BarterCast messages into a "subjective, local graph which is used as input
+// for the maxflow algorithm". Two integrity rules are enforced:
+//
+//  1. Edges incident to the owner come exclusively from the owner's private
+//     history — "the information about these edges is derived from peer i's
+//     private history which itself cannot be manipulated by others" (§3.4).
+//     Gossip claims about them are ignored.
+//  2. A message record must involve its sender (a peer reports its *own*
+//     history). Third-party records are dropped.
+//
+// Gossiped records carry cumulative totals, so re-applying a newer message
+// from the same sender must not double count: remote claims are merged with
+// max(), which keeps edge capacities monotone under honest replay.
+#pragma once
+
+#include <cstdint>
+
+#include "bartercast/message.hpp"
+#include "graph/flow_graph.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace bc::bartercast {
+
+class SharedHistory {
+ public:
+  explicit SharedHistory(PeerId owner) : owner_(owner) {}
+
+  PeerId owner() const { return owner_; }
+
+  /// Authoritative update from the owner's own transfers: the owner
+  /// uploaded (`direction_up` = true) or downloaded `amount` bytes
+  /// to/from `remote`. Increments the corresponding owner-incident edge.
+  void record_local_upload(PeerId remote, Bytes amount);
+  void record_local_download(PeerId remote, Bytes amount);
+
+  struct ApplyStats {
+    std::size_t applied = 0;           // records merged into the graph
+    std::size_t dropped_third_party = 0;
+    std::size_t dropped_own_edge = 0;  // claims about owner-incident edges
+    std::size_t dropped_self_report = 0;  // record about (sender, sender)
+  };
+
+  /// Merges a received message into the subjective graph under the
+  /// integrity rules above. Returns per-message statistics.
+  ApplyStats apply_message(const BarterCastMessage& message);
+
+  /// The subjective local graph: edge (i, j) holds the best-known total
+  /// bytes i uploaded to j.
+  const graph::FlowGraph& graph() const { return graph_; }
+
+  /// Monotonically increasing version, bumped on every mutation; used by
+  /// reputation caches for exact invalidation.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  PeerId owner_;
+  graph::FlowGraph graph_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace bc::bartercast

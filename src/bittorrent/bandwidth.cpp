@@ -1,0 +1,46 @@
+#include "bittorrent/bandwidth.hpp"
+
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace bc::bt {
+
+std::vector<Rate> allocate_rates(
+    std::span<const LinkRequest> links,
+    const std::function<AccessProfile(PeerId)>& profile) {
+  BC_ASSERT(profile != nullptr);
+  std::vector<Rate> rates(links.size(), 0.0);
+  if (links.empty()) return rates;
+
+  // Pass 1: equal split of each uploader's uplink.
+  std::unordered_map<PeerId, int> out_count;
+  for (const auto& l : links) ++out_count[l.uploader];
+  std::unordered_map<PeerId, Rate> in_sum;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const auto& l = links[i];
+    const AccessProfile p = profile(l.uploader);
+    BC_ASSERT(p.uplink >= 0.0);
+    rates[i] = p.uplink / out_count[l.uploader];
+    in_sum[l.downloader] += rates[i];
+  }
+
+  // Pass 2: proportional scale-down at oversubscribed downlinks.
+  std::unordered_map<PeerId, double> scale;
+  for (const auto& [peer, sum] : in_sum) {
+    const AccessProfile p = profile(peer);
+    BC_ASSERT(p.downlink >= 0.0);
+    if (sum > p.downlink && sum > 0.0) {
+      scale[peer] = p.downlink / sum;
+    }
+  }
+  if (!scale.empty()) {
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      auto it = scale.find(links[i].downloader);
+      if (it != scale.end()) rates[i] *= it->second;
+    }
+  }
+  return rates;
+}
+
+}  // namespace bc::bt

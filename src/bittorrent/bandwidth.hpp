@@ -1,0 +1,42 @@
+// Access-link bandwidth model (paper §5.1: ADSL peers, 3 MBps downlink and
+// 512 KBps uplink).
+//
+// Rates are allocated in two passes over all simultaneously active directed
+// links (across *all* swarms — cross-swarm uplink contention is exactly the
+// effect that makes seeding costly and freeriding initially attractive,
+// §4 "the consumed upload bandwidth cannot be used to do tit-for-tat in
+// other downloads"):
+//   1. every uploader splits its uplink equally over its active links;
+//   2. every downloader whose incoming sum exceeds its downlink scales its
+//      incoming rates down proportionally.
+// Uplink slack left by downlink-capped receivers is not redistributed; with
+// the paper's asymmetric ADSL profile the receiver cap almost never binds,
+// so the approximation is benign (and it keeps allocation O(links)).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace bc::bt {
+
+struct LinkRequest {
+  PeerId uploader = kInvalidPeer;
+  PeerId downloader = kInvalidPeer;
+};
+
+/// Per-peer access capacities.
+struct AccessProfile {
+  Rate uplink = 512.0 * 1024.0;          // 512 KiB/s
+  Rate downlink = 3.0 * 1024.0 * 1024.0;  // 3 MiB/s
+};
+
+/// Returns one rate per request, in request order.
+std::vector<Rate> allocate_rates(
+    std::span<const LinkRequest> links,
+    const std::function<AccessProfile(PeerId)>& profile);
+
+}  // namespace bc::bt

@@ -1,0 +1,78 @@
+#include "bittorrent/choker.hpp"
+
+#include <algorithm>
+
+namespace bc::bt {
+
+std::vector<PeerId> pick_regular_unchokes(
+    std::span<const UnchokeCandidate> candidates, int slots,
+    const bartercast::ReputationPolicy& policy) {
+  std::vector<const UnchokeCandidate*> eligible;
+  eligible.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    if (c.interested && policy.allows_slot(c.reputation)) {
+      eligible.push_back(&c);
+    }
+  }
+  std::sort(eligible.begin(), eligible.end(),
+            [](const UnchokeCandidate* a, const UnchokeCandidate* b) {
+              if (a->rate != b->rate) return a->rate > b->rate;
+              return a->peer < b->peer;
+            });
+  std::vector<PeerId> out;
+  const auto want = static_cast<std::size_t>(std::max(slots, 0));
+  out.reserve(std::min(want, eligible.size()));
+  for (std::size_t i = 0; i < eligible.size() && i < want; ++i) {
+    out.push_back(eligible[i]->peer);
+  }
+  return out;
+}
+
+PeerId OptimisticRotator::pick(std::span<const UnchokeCandidate> candidates,
+                               std::span<const PeerId> regular,
+                               const bartercast::ReputationPolicy& policy,
+                               Seconds now) {
+  const UnchokeCandidate* best = nullptr;
+  Seconds best_served = 0.0;
+  auto served_at = [&](PeerId p) {
+    auto it = last_served_.find(p);
+    // Never-served peers sort before everything else.
+    return it == last_served_.end() ? -1.0 : it->second;
+  };
+  for (const auto& c : candidates) {
+    if (!c.interested || !policy.allows_slot(c.reputation)) continue;
+    if (std::find(regular.begin(), regular.end(), c.peer) != regular.end()) {
+      continue;
+    }
+    const Seconds served = served_at(c.peer);
+    bool better = false;
+    if (best == nullptr) {
+      better = true;
+    } else if (policy.ranked_optimistic()) {
+      // Rank policy: reputation first; round-robin age breaks ties so equal
+      // (e.g. all-zero) reputations still rotate fairly.
+      if (c.reputation != best->reputation) {
+        better = c.reputation > best->reputation;
+      } else if (served != best_served) {
+        better = served < best_served;
+      } else {
+        better = c.peer < best->peer;
+      }
+    } else {
+      if (served != best_served) {
+        better = served < best_served;
+      } else {
+        better = c.peer < best->peer;
+      }
+    }
+    if (better) {
+      best = &c;
+      best_served = served;
+    }
+  }
+  if (best == nullptr) return kInvalidPeer;
+  last_served_[best->peer] = now;
+  return best->peer;
+}
+
+}  // namespace bc::bt

@@ -1,0 +1,63 @@
+// Choking: upload-slot assignment (paper §4.1-4.2).
+//
+// Regular slots implement tit-for-tat: a leecher unchokes the interested
+// peers that currently provide it the highest download rate; a seeder
+// unchokes the peers with the highest download rate from it. One extra slot
+// is assigned by optimistic unchoking, normally "via a 30 seconds
+// round-robin shift over all the interested peers".
+//
+// The reputation policies hook in exactly as §4.2 describes:
+//  * ban: candidates below the threshold are excluded from *all* slots;
+//  * rank: the optimistic slot goes to the interested candidate with the
+//    highest reputation instead of the round-robin choice.
+//
+// Slot selection is pure (free function) and the round-robin state is a
+// small separate object, so both are directly unit-testable.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bartercast/policy.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace bc::bt {
+
+struct UnchokeCandidate {
+  PeerId peer = kInvalidPeer;
+  /// Tit-for-tat metric: for a leecher the rate received *from* this peer
+  /// last period; for a seeder the rate sent *to* it.
+  Rate rate = 0.0;
+  /// The chooser's subjective reputation of this peer (Equation 1).
+  double reputation = 0.0;
+  /// Whether this peer currently wants data from the chooser.
+  bool interested = false;
+};
+
+/// Picks up to `slots` regular unchokes: interested candidates permitted by
+/// the policy, by decreasing rate; ties favour the lower peer id (stable and
+/// deterministic).
+std::vector<PeerId> pick_regular_unchokes(
+    std::span<const UnchokeCandidate> candidates, int slots,
+    const bartercast::ReputationPolicy& policy);
+
+/// Round-robin optimistic unchoke state for one chooser. The "shift over all
+/// the interested peers" is realized by always picking the interested,
+/// policy-permitted candidate served longest ago (never-served first).
+class OptimisticRotator {
+ public:
+  /// Picks the optimistic unchoke among candidates not already in
+  /// `regular`. Under the rank policy the choice is by decreasing
+  /// reputation; otherwise round-robin. Returns kInvalidPeer when no
+  /// candidate qualifies. `now` timestamps the choice for future rotation.
+  PeerId pick(std::span<const UnchokeCandidate> candidates,
+              std::span<const PeerId> regular,
+              const bartercast::ReputationPolicy& policy, Seconds now);
+
+ private:
+  std::unordered_map<PeerId, Seconds> last_served_;
+};
+
+}  // namespace bc::bt

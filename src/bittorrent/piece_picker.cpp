@@ -1,0 +1,58 @@
+#include "bittorrent/piece_picker.hpp"
+
+#include <limits>
+
+namespace bc::bt {
+
+void Availability::add_bitfield(const Bitfield& have) {
+  BC_ASSERT(have.size() == num_pieces());
+  for (int p = 0; p < have.size(); ++p) {
+    if (have.get(p)) ++counts_[static_cast<std::size_t>(p)];
+  }
+}
+
+void Availability::remove_bitfield(const Bitfield& have) {
+  BC_ASSERT(have.size() == num_pieces());
+  for (int p = 0; p < have.size(); ++p) {
+    if (have.get(p)) {
+      auto& c = counts_[static_cast<std::size_t>(p)];
+      BC_ASSERT(c > 0);
+      --c;
+    }
+  }
+}
+
+void Availability::add_piece(int piece) {
+  BC_ASSERT(piece >= 0 && static_cast<std::size_t>(piece) < counts_.size());
+  ++counts_[static_cast<std::size_t>(piece)];
+}
+
+std::optional<int> pick_piece(const PickRequest& req, Rng& rng) {
+  BC_ASSERT(req.mine != nullptr && req.theirs != nullptr &&
+            req.availability != nullptr && req.in_flight != nullptr);
+  BC_ASSERT(req.mine->size() == req.theirs->size());
+
+  const bool random_first = req.mine->count() < req.random_first_threshold;
+  int best_rarity = std::numeric_limits<int>::max();
+  int chosen = -1;
+  // Reservoir-style tie-breaking: each equally rare candidate replaces the
+  // current choice with probability 1/k, giving a uniform pick in one pass.
+  int ties = 0;
+  for (int p = 0; p < req.mine->size(); ++p) {
+    if (req.mine->get(p) || !req.theirs->get(p)) continue;
+    if (req.in_flight->contains(p)) continue;
+    const int rarity = random_first ? 0 : req.availability->count(p);
+    if (rarity < best_rarity) {
+      best_rarity = rarity;
+      chosen = p;
+      ties = 1;
+    } else if (rarity == best_rarity) {
+      ++ties;
+      if (rng.index(static_cast<std::size_t>(ties)) == 0) chosen = p;
+    }
+  }
+  if (chosen < 0) return std::nullopt;
+  return chosen;
+}
+
+}  // namespace bc::bt

@@ -1,0 +1,60 @@
+#include "community/behavior.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bc::community {
+
+std::string behavior_name(Behavior b) {
+  switch (b) {
+    case Behavior::kSharer:
+      return "sharer";
+    case Behavior::kLazyFreerider:
+      return "lazy-freerider";
+    case Behavior::kIgnoringFreerider:
+      return "ignoring-freerider";
+    case Behavior::kLyingFreerider:
+      return "lying-freerider";
+  }
+  return "?";
+}
+
+std::vector<Behavior> assign_behaviors(std::size_t num_peers,
+                                       double freerider_fraction,
+                                       double ignorer_fraction,
+                                       double liar_fraction, Rng& rng) {
+  BC_ASSERT(freerider_fraction >= 0.0 && freerider_fraction <= 1.0);
+  BC_ASSERT(ignorer_fraction >= 0.0 && liar_fraction >= 0.0);
+  BC_ASSERT_MSG(ignorer_fraction + liar_fraction <= freerider_fraction + 1e-9,
+                "disobeying peers are drawn from the freerider population");
+
+  const auto count = [&](double fraction) {
+    return static_cast<std::size_t>(
+        std::lround(fraction * static_cast<double>(num_peers)));
+  };
+  const std::size_t num_freeriders = count(freerider_fraction);
+  const std::size_t num_ignorers = count(ignorer_fraction);
+  const std::size_t num_liars = count(liar_fraction);
+  BC_ASSERT(num_ignorers + num_liars <= num_freeriders);
+
+  std::vector<Behavior> out(num_peers, Behavior::kSharer);
+  // Choose the freerider subset, then the disobeying subsets inside it,
+  // via a single shuffled index vector.
+  std::vector<std::size_t> idx(num_peers);
+  for (std::size_t i = 0; i < num_peers; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  for (std::size_t i = 0; i < num_freeriders; ++i) {
+    out[idx[i]] = Behavior::kLazyFreerider;
+  }
+  for (std::size_t i = 0; i < num_ignorers; ++i) {
+    out[idx[i]] = Behavior::kIgnoringFreerider;
+  }
+  for (std::size_t i = 0; i < num_liars; ++i) {
+    out[idx[num_ignorers + i]] = Behavior::kLyingFreerider;
+  }
+  return out;
+}
+
+}  // namespace bc::community

@@ -1,0 +1,51 @@
+// Peer behaviour archetypes of the evaluation (paper §5.1, §5.4).
+//
+//  * Sharer: seeds every downloaded file for a fixed period (10 hours in
+//    the paper) and follows the BarterCast protocol honestly.
+//  * LazyFreerider: "immediately leave[s] the swarm after finishing a
+//    download" but otherwise follows the protocol (sends honest messages).
+//  * IgnoringFreerider: lazy freerider that additionally ignores the
+//    message protocol — sends no BarterCast messages at all (§5.4 case 1).
+//  * LyingFreerider: lazy freerider that lies selfishly, claiming it
+//    "sent huge amounts of data to other peers and received nothing"
+//    (§5.4 case 2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bc::community {
+
+enum class Behavior {
+  kSharer,
+  kLazyFreerider,
+  kIgnoringFreerider,
+  kLyingFreerider,
+};
+
+constexpr bool is_freerider(Behavior b) { return b != Behavior::kSharer; }
+
+/// Whether the peer participates in the BarterCast message exchange.
+constexpr bool sends_messages(Behavior b) {
+  return b != Behavior::kIgnoringFreerider;
+}
+
+constexpr bool lies(Behavior b) { return b == Behavior::kLyingFreerider; }
+
+std::string behavior_name(Behavior b);
+
+/// Splits a population like the paper does: `freerider_fraction` of the
+/// peers are freeriders, of which the requested fractions (relative to the
+/// *whole* population, as in §5.4: "disobeying peers are a random selection
+/// from a total of 50% freeriders") ignore or lie. The remaining peers are
+/// sharers. ignorer_fraction + liar_fraction must not exceed
+/// freerider_fraction. Assignment is random but deterministic in rng.
+std::vector<Behavior> assign_behaviors(std::size_t num_peers,
+                                       double freerider_fraction,
+                                       double ignorer_fraction,
+                                       double liar_fraction, Rng& rng);
+
+}  // namespace bc::community

@@ -1,0 +1,55 @@
+#include "community/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bc::community {
+
+namespace {
+
+std::size_t bins_for(Seconds duration, Seconds bin) {
+  BC_ASSERT(duration > 0.0 && bin > 0.0);
+  return static_cast<std::size_t>(std::ceil(duration / bin));
+}
+
+}  // namespace
+
+Metrics::Metrics(Seconds total, Seconds bin)
+    : reputation_sharers(0.0, bin, bins_for(total, bin)),
+      reputation_freeriders(0.0, bin, bins_for(total, bin)),
+      speed_sharers(0.0, bin, bins_for(total, bin)),
+      speed_freeriders(0.0, bin, bins_for(total, bin)),
+      duration(total) {}
+
+double Metrics::late_class_speed(bool freeriders) const {
+  double bytes = 0.0;
+  double time = 0.0;
+  for (const auto& o : outcomes) {
+    if (is_freerider(o.behavior) != freeriders) continue;
+    bytes += static_cast<double>(o.late_downloaded);
+    time += o.late_time_downloading;
+  }
+  return time > 0.0 ? bytes / time : 0.0;
+}
+
+double Metrics::tail_speed(const TimeSeries& series, Seconds tail) const {
+  BC_ASSERT(tail > 0.0);
+  const Seconds from = duration - tail;
+  // Sample-weighted: near the end of a run activity thins out, and an
+  // unweighted bin average would let a bin holding two straggler samples
+  // outvote one holding thousands.
+  double sum = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < series.num_bins(); ++i) {
+    if (series.bin_center(i) >= from && series.bin_count(i) > 0) {
+      const auto n = static_cast<double>(series.bin_count(i));
+      sum += series.bin_mean(i) * n;
+      weight += n;
+    }
+  }
+  return weight > 0.0 ? sum / weight : 0.0;
+}
+
+}  // namespace bc::community

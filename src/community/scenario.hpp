@@ -1,0 +1,58 @@
+// Scenario configuration: everything a trace-based experiment run needs.
+//
+// The defaults reproduce the paper's simulation setup (§5.1): N = 100 peers,
+// 10 swarms, one week, 50% lazy freeriders, sharers seed for 10 hours,
+// ADSL access links (3 MBps down / 512 KBps up), Nh = Nr = 10.
+#pragma once
+
+#include <cstdint>
+
+#include "bartercast/node.hpp"
+#include "bartercast/policy.hpp"
+#include "bittorrent/bandwidth.hpp"
+#include "trace/generator.hpp"
+#include "util/units.hpp"
+
+namespace bc::community {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+
+  // --- population (fractions of the whole trace population) -------------
+  double freerider_fraction = 0.5;
+  double ignorer_fraction = 0.0;  // §5.4 manipulation (1), subset of above
+  double liar_fraction = 0.0;     // §5.4 manipulation (2), subset of above
+  Bytes liar_claimed_upload = gib(10.0);
+
+  // --- sharer behaviour ---------------------------------------------------
+  Seconds seed_duration = 10.0 * kHour;
+
+  // --- BitTorrent ---------------------------------------------------------
+  bt::AccessProfile access;     // 512 KiB/s up, 3 MiB/s down (paper)
+  int regular_slots = 3;        // plus 1 optimistic slot
+  Seconds round_interval = 15.0;         // transfer/choke evaluation step
+  Seconds optimistic_interval = 30.0;    // paper: 30 s round-robin shift
+  /// Initial holders per swarm: trace peers (always sharers) that hold the
+  /// file from t=0 and keep seeding it whenever they are online — the
+  /// filelist-style uploader of the content. This keeps all supply inside
+  /// the community, as in the paper's trace: there are no synthetic
+  /// always-on peers, and every byte is served by a policy-applying peer
+  /// with ordinary bidirectional barter flows.
+  std::size_t initial_holders_per_swarm = 2;
+
+  // --- BarterCast ---------------------------------------------------------
+  bartercast::NodeConfig node;  // Nh = Nr = 10, two-hop maxflow
+  bartercast::ReputationPolicy policy = bartercast::ReputationPolicy::none();
+  Seconds gossip_interval = 60.0;  // per-peer BarterCast exchange period
+  /// Community-level reputation cache TTL used by the choker (reputations
+  /// change slowly; caching bounds maxflow cost per round).
+  Seconds reputation_ttl = 5.0 * kMinute;
+
+  // --- probes ---------------------------------------------------------
+  /// System-reputation sampling period (Figure 1a resolution).
+  Seconds reputation_probe_interval = 2.0 * kHour;
+  /// Bin width of the speed/reputation time series.
+  Seconds series_bin = 4.0 * kHour;
+};
+
+}  // namespace bc::community

@@ -1,0 +1,502 @@
+#include "community/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bittorrent/bandwidth.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace bc::community {
+
+namespace {
+
+/// Overlay payload wrapping one BarterCast message. `is_reply` prevents
+/// reply loops in the bidirectional exchange.
+struct BarterPayload final : net::Payload {
+  bartercast::BarterCastMessage msg;
+  bool is_reply = false;
+};
+
+std::uint64_t pair_key(PeerId a, PeerId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+CommunitySimulator::CommunitySimulator(trace::Trace trace,
+                                       ScenarioConfig config)
+    : trace_(std::move(trace)),
+      config_(config),
+      rng_(config.seed),
+      overlay_(engine_, Rng(config.seed ^ 0x6f6e6c696e65ULL)),
+      pss_(gossip::PeerSamplingService::Config{
+          config.seed ^ 0x70737321ULL, /*view_size=*/20, /*exchange_size=*/8}),
+      metrics_(trace_.duration, config.series_bin) {
+  BC_ASSERT_MSG(trace_.validate().empty(), "invalid trace");
+  BC_ASSERT(config_.round_interval > 0.0);
+  BC_ASSERT(config_.optimistic_interval >= config_.round_interval);
+  setup_peers();
+  setup_swarms();
+  schedule_trace_events();
+  schedule_periodics();
+}
+
+CommunitySimulator::PeerState& CommunitySimulator::peer(PeerId id) {
+  BC_ASSERT(id < peers_.size());
+  return peers_[id];
+}
+
+const CommunitySimulator::PeerState& CommunitySimulator::peer(
+    PeerId id) const {
+  BC_ASSERT(id < peers_.size());
+  return peers_[id];
+}
+
+Behavior CommunitySimulator::behavior(PeerId id) const {
+  return peer(id).behavior;
+}
+
+bool CommunitySimulator::is_initial_holder(PeerId id, SwarmId swarm_id) const {
+  BC_ASSERT(swarm_id < swarms_.size());
+  return swarms_[swarm_id]->permanent_seeds.contains(id);
+}
+
+const bartercast::Node& CommunitySimulator::node(PeerId id) const {
+  return *peer(id).node;
+}
+
+const bt::Swarm& CommunitySimulator::swarm(SwarmId id) const {
+  BC_ASSERT(id < swarms_.size());
+  return swarms_[id]->swarm;
+}
+
+void CommunitySimulator::setup_peers() {
+  const std::size_t total = trace_.peers.size();
+
+  Rng behavior_rng = rng_.fork();
+  const std::vector<Behavior> behaviors = assign_behaviors(
+      total, config_.freerider_fraction, config_.ignorer_fraction,
+      config_.liar_fraction, behavior_rng);
+
+  peers_.resize(total);
+  for (PeerId id = 0; id < total; ++id) {
+    PeerState& p = peers_[id];
+    p.behavior = behaviors[id];
+    p.node = std::make_unique<bartercast::Node>(id, config_.node);
+    overlay_.register_peer(
+        id,
+        [this, id](PeerId from, const net::Payload& payload) {
+          if (const auto* bp = dynamic_cast<const BarterPayload*>(&payload)) {
+            on_barter_message(id, from, bp->msg, bp->is_reply);
+          }
+        },
+        trace_.peers[id].connectable);
+  }
+
+  // PSS bootstrap: everyone starts off knowing a random handful of peers
+  // (the tracker hands out such lists in any real community).
+  std::vector<PeerId> everyone(total);
+  for (PeerId id = 0; id < total; ++id) everyone[id] = id;
+  for (PeerId id = 0; id < total; ++id) {
+    pss_.register_peer(id);
+  }
+  for (PeerId id = 0; id < total; ++id) {
+    pss_.bootstrap(id, rng_.sample(everyone, 12));
+  }
+}
+
+void CommunitySimulator::setup_swarms() {
+  swarms_.reserve(trace_.files.size());
+  for (const auto& file : trace_.files) {
+    auto ctx = std::make_unique<SwarmCtx>(
+        bt::Swarm(bt::Torrent::from_file(file), rng_.fork()));
+    const SwarmId sid = file.id;
+    ctx->swarm.on_complete = [this, sid](PeerId p) {
+      pending_completions_.emplace_back(sid, p);
+    };
+    swarms_.push_back(std::move(ctx));
+  }
+  // Initial holders: per swarm, a few sharers hold the file from t=0 and
+  // keep seeding it whenever online (the filelist uploader of the content).
+  // Sharers are preferred; a degenerate all-freerider population falls back
+  // to arbitrary peers so content still gets injected.
+  std::vector<PeerId> sharers, everyone;
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    everyone.push_back(id);
+    if (peers_[id].behavior == Behavior::kSharer) sharers.push_back(id);
+  }
+  Rng holder_rng = rng_.fork();
+  for (auto& ctx : swarms_) {
+    const auto& pool = sharers.size() >= config_.initial_holders_per_swarm
+                           ? sharers
+                           : everyone;
+    for (PeerId holder :
+         holder_rng.sample(pool, config_.initial_holders_per_swarm)) {
+      ctx->swarm.add_seeder(holder);
+      ctx->permanent_seeds.insert(holder);
+    }
+  }
+}
+
+void CommunitySimulator::schedule_trace_events() {
+  for (const auto& profile : trace_.peers) {
+    const PeerId id = profile.id;
+    for (const auto& session : profile.sessions) {
+      engine_.schedule_at(session.start,
+                          [this, id] { overlay_.set_online(id, true); });
+      engine_.schedule_at(session.end,
+                          [this, id] { overlay_.set_online(id, false); });
+    }
+  }
+  for (const auto& request : trace_.requests) {
+    engine_.schedule_at(request.at, [this, request] {
+      attempt_join(request.peer, request.swarm);
+    });
+  }
+}
+
+void CommunitySimulator::schedule_periodics() {
+  engine_.schedule_periodic(config_.round_interval, config_.round_interval,
+                            [this] { round(); });
+  engine_.schedule_periodic(config_.reputation_probe_interval,
+                            config_.reputation_probe_interval,
+                            [this] { reputation_probe(); });
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    // Random phase per peer spreads the gossip load across rounds.
+    const Seconds phase = rng_.uniform(0.0, config_.gossip_interval);
+    engine_.schedule_periodic(phase, config_.gossip_interval,
+                              [this, id] { gossip_tick(id); });
+  }
+}
+
+void CommunitySimulator::attempt_join(PeerId id, SwarmId swarm_id) {
+  BC_ASSERT(id < trace_.peers.size());
+  auto& ctx = *swarms_[swarm_id];
+  if (ctx.swarm.has_peer(id)) return;  // duplicate/deferred request
+  if (!overlay_.online(id)) {
+    // Defer to the peer's next session. Trace peers follow their schedule
+    // strictly, so a request placed while offline starts then.
+    const Seconds next = trace_.peers[id].next_online(engine_.now());
+    if (next >= 0.0 && next < trace_.duration) {
+      const Seconds at = std::max(next, engine_.now());
+      engine_.schedule_at(at, [this, id, swarm_id] {
+        attempt_join(id, swarm_id);
+      });
+    }
+    return;
+  }
+  ctx.swarm.add_leecher(id);
+  PeerState& p = peer(id);
+  ++p.files_requested;
+  p.downloading.insert(swarm_id);
+}
+
+double CommunitySimulator::choker_reputation(PeerId evaluator,
+                                             PeerId subject) {
+  const Seconds now = engine_.now();
+  auto& entry = rep_cache_[pair_key(evaluator, subject)];
+  if (now - entry.at <= config_.reputation_ttl) return entry.value;
+  entry.at = now;
+  entry.value = peer(evaluator).node->reputation(subject);
+  return entry.value;
+}
+
+void CommunitySimulator::choke_swarm(SwarmId swarm_id,
+                                     const std::vector<PeerId>& online) {
+  auto& ctx = *swarms_[swarm_id];
+  const Seconds now = engine_.now();
+  const Seconds dt = config_.round_interval;
+  const bool use_reputation =
+      config_.policy.kind() != bartercast::PolicyKind::kNone;
+
+  std::vector<bt::UnchokeCandidate> candidates;
+  for (PeerId u : online) {
+    const bool u_is_seed = ctx.swarm.is_complete(u);
+    const bartercast::ReputationPolicy& policy = config_.policy;
+    candidates.clear();
+    for (PeerId v : online) {
+      if (v == u || !overlay_.can_communicate(u, v)) continue;
+      bt::UnchokeCandidate c;
+      c.peer = v;
+      c.interested =
+          !ctx.swarm.is_complete(v) && ctx.swarm.interested(v, u);
+      // Tit-for-tat metric: leechers rank by what v sends them; seeders by
+      // what they deliver to v (paper §4.1).
+      const Bytes moved = u_is_seed ? ctx.swarm.last_round_bytes(u, v)
+                                    : ctx.swarm.last_round_bytes(v, u);
+      c.rate = static_cast<Rate>(moved) / dt;
+      c.reputation = use_reputation ? choker_reputation(u, v) : 0.0;
+      candidates.push_back(c);
+    }
+    ChokeState& cs = ctx.chokers[u];
+    cs.regular =
+        bt::pick_regular_unchokes(candidates, config_.regular_slots, policy);
+    // Keep the optimistic choice for a full rotation period, unless it
+    // became useless (left/completed/banned/regular) in the meantime.
+    bool still_valid = false;
+    if (cs.optimistic != kInvalidPeer) {
+      for (const auto& c : candidates) {
+        if (c.peer == cs.optimistic) {
+          still_valid = c.interested && policy.allows_slot(c.reputation) &&
+                        std::find(cs.regular.begin(), cs.regular.end(),
+                                  c.peer) == cs.regular.end();
+          break;
+        }
+      }
+    }
+    if (now >= cs.next_rotation || !still_valid) {
+      cs.optimistic = cs.rotator.pick(candidates, cs.regular, policy, now);
+      cs.next_rotation = now + config_.optimistic_interval;
+    }
+  }
+}
+
+void CommunitySimulator::round() {
+  const Seconds now = engine_.now();
+  const Seconds dt = config_.round_interval;
+  round_received_.clear();
+
+  // Phase 1: choke decisions per swarm on the current member/online sets.
+  std::vector<std::vector<PeerId>> online_members(swarms_.size());
+  for (SwarmId s = 0; s < swarms_.size(); ++s) {
+    for (PeerId m : swarms_[s]->swarm.members()) {
+      if (overlay_.online(m)) online_members[s].push_back(m);
+    }
+    choke_swarm(s, online_members[s]);
+  }
+
+  // Phase 2: collect the active directed links across all swarms.
+  struct TaggedLink {
+    SwarmId swarm;
+    PeerId uploader;
+    PeerId downloader;
+  };
+  std::vector<TaggedLink> links;
+  std::vector<bt::LinkRequest> requests;
+  for (SwarmId s = 0; s < swarms_.size(); ++s) {
+    auto& ctx = *swarms_[s];
+    std::unordered_set<std::uint64_t> active_now;
+    for (PeerId u : online_members[s]) {
+      const auto it = ctx.chokers.find(u);
+      if (it == ctx.chokers.end()) continue;
+      auto consider = [&](PeerId v) {
+        if (v == kInvalidPeer) return;
+        if (!ctx.swarm.has_peer(v) || ctx.swarm.is_complete(v)) return;
+        if (!overlay_.can_communicate(u, v)) return;
+        if (!ctx.swarm.interested(v, u)) return;
+        const std::uint64_t key = pair_key(u, v);
+        if (!active_now.insert(key).second) return;
+        links.push_back({s, u, v});
+        requests.push_back({u, v});
+      };
+      for (PeerId v : it->second.regular) consider(v);
+      consider(it->second.optimistic);
+    }
+    // Links that lost their unchoke release their in-flight piece.
+    for (std::uint64_t key : ctx.prev_active) {
+      if (!active_now.contains(key)) {
+        const auto u = static_cast<PeerId>(key >> 32);
+        const auto v = static_cast<PeerId>(key & 0xffffffffu);
+        if (ctx.swarm.has_peer(u) && ctx.swarm.has_peer(v)) {
+          ctx.swarm.release_link(u, v);
+        }
+      }
+    }
+    ctx.prev_active = std::move(active_now);
+  }
+
+  // Phase 3: bandwidth allocation across all swarms at once (shared
+  // uplinks), then apply the transfers.
+  const std::vector<Rate> rates = bt::allocate_rates(
+      requests, [this](PeerId) { return config_.access; });
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const auto budget = static_cast<Bytes>(std::llround(rates[i] * dt));
+    if (budget <= 0) continue;
+    const TaggedLink& l = links[i];
+    const Bytes moved =
+        swarms_[l.swarm]->swarm.transfer(l.uploader, l.downloader, budget);
+    if (moved <= 0) continue;
+    peer(l.uploader).node->on_bytes_sent(l.downloader, moved, now);
+    peer(l.downloader).node->on_bytes_received(l.uploader, moved, now);
+    peer(l.uploader).total_up += moved;
+    peer(l.downloader).total_down += moved;
+    round_received_[l.downloader] += moved;
+  }
+
+  // Phase 4: completions reported during the transfers.
+  for (const auto& [sid, who] : pending_completions_) {
+    handle_completion(sid, who);
+  }
+  pending_completions_.clear();
+
+  // Phase 5: seeding period expiry.
+  for (auto& ctx : swarms_) {
+    std::vector<PeerId> expired;
+    for (const auto& [p, until] : ctx->seed_until) {
+      if (now >= until) expired.push_back(p);
+    }
+    std::sort(expired.begin(), expired.end());
+    for (PeerId p : expired) {
+      ctx->seed_until.erase(p);
+      ctx->swarm.remove_peer(p);
+    }
+  }
+
+  // Phase 6: round bookkeeping for tit-for-tat.
+  for (auto& ctx : swarms_) ctx->swarm.end_round();
+
+  // Phase 7: download-speed probe over actively downloading trace peers.
+  for (PeerId p = 0; p < trace_.peers.size(); ++p) {
+    PeerState& st = peer(p);
+    if (st.downloading.empty() || !overlay_.online(p)) continue;
+    Bytes got = 0;
+    if (auto it = round_received_.find(p); it != round_received_.end()) {
+      got = it->second;
+    }
+    const double speed = static_cast<double>(got) / dt;
+    if (is_freerider(st.behavior)) {
+      metrics_.speed_freeriders.add(now, speed);
+    } else {
+      metrics_.speed_sharers.add(now, speed);
+    }
+    st.time_downloading += dt;
+    if (now >= trace_.duration * 0.5) {
+      st.late_downloaded += got;
+      st.late_time_downloading += dt;
+    }
+  }
+}
+
+void CommunitySimulator::handle_completion(SwarmId swarm_id, PeerId id) {
+  const Seconds now = engine_.now();
+  PeerState& p = peer(id);
+  ++p.files_completed;
+  p.downloading.erase(swarm_id);
+  auto& ctx = *swarms_[swarm_id];
+  if (is_freerider(p.behavior)) {
+    // "freeriders ... immediately leave the swarm after finishing" (§5.1).
+    ctx.swarm.remove_peer(id);
+    ctx.chokers.erase(id);
+  } else {
+    // Sharers seed the file for the configured period (10 h in the paper).
+    ctx.seed_until[id] = now + config_.seed_duration;
+  }
+}
+
+bartercast::BarterCastMessage CommunitySimulator::make_outgoing_message(
+    PeerId id) {
+  PeerState& p = peer(id);
+  const Seconds now = engine_.now();
+  if (lies(p.behavior)) {
+    return bartercast::build_lying_message(p.node->history(),
+                                           config_.node.selection,
+                                           config_.liar_claimed_upload, now);
+  }
+  return p.node->make_message(now);
+}
+
+void CommunitySimulator::gossip_tick(PeerId id) {
+  if (!overlay_.online(id)) return;
+  const auto can_talk = [this](PeerId a, PeerId b) {
+    return overlay_.can_communicate(a, b);
+  };
+  const PeerId partner = pss_.exchange(id, can_talk);
+  if (partner == kInvalidPeer) return;
+  ++metrics_.messages.gossip_exchanges;
+  peer(id).node->on_peer_seen(partner, engine_.now());
+  if (!sends_messages(peer(id).behavior)) return;
+  auto payload = std::make_unique<BarterPayload>();
+  payload->msg = make_outgoing_message(id);
+  payload->is_reply = false;
+  if (overlay_.send(id, partner, std::move(payload))) {
+    ++metrics_.messages.messages_sent;
+  }
+}
+
+void CommunitySimulator::on_barter_message(
+    PeerId receiver, PeerId sender, const bartercast::BarterCastMessage& msg,
+    bool is_reply) {
+  ++metrics_.messages.messages_received;
+  PeerState& p = peer(receiver);
+  const auto stats = p.node->receive_message(msg);
+  metrics_.messages.records_applied += stats.applied;
+  metrics_.messages.records_dropped += stats.dropped_third_party +
+                                       stats.dropped_own_edge +
+                                       stats.dropped_self_report;
+  p.node->on_peer_seen(sender, engine_.now());
+  // Bidirectional exchange: answer a fresh message with our own records.
+  if (!is_reply && sends_messages(p.behavior)) {
+    auto payload = std::make_unique<BarterPayload>();
+    payload->msg = make_outgoing_message(receiver);
+    payload->is_reply = true;
+    if (overlay_.send(receiver, sender, std::move(payload))) {
+      ++metrics_.messages.messages_sent;
+    }
+  }
+}
+
+double CommunitySimulator::system_reputation(PeerId subject) {
+  const auto n = static_cast<PeerId>(trace_.peers.size());
+  BC_ASSERT(subject < n);
+  double sum = 0.0;
+  for (PeerId j = 0; j < n; ++j) {
+    if (j == subject) continue;
+    sum += peer(j).node->reputation(subject);
+  }
+  return sum / static_cast<double>(n - 1);
+}
+
+void CommunitySimulator::reputation_probe() {
+  const Seconds now = engine_.now();
+  const auto n = static_cast<PeerId>(trace_.peers.size());
+  if (n < 2) return;
+  std::vector<double> sum(n, 0.0);
+  // Evaluator-outer loop keeps each evaluator's reputation cache hot.
+  for (PeerId j = 0; j < n; ++j) {
+    auto& evaluator = *peer(j).node;
+    for (PeerId i = 0; i < n; ++i) {
+      if (i == j) continue;
+      sum[i] += evaluator.reputation(i);
+    }
+  }
+  for (PeerId i = 0; i < n; ++i) {
+    const double r = sum[i] / static_cast<double>(n - 1);
+    if (is_freerider(peer(i).behavior)) {
+      metrics_.reputation_freeriders.add(now, r);
+    } else {
+      metrics_.reputation_sharers.add(now, r);
+    }
+  }
+}
+
+void CommunitySimulator::finalize() {
+  const auto n = static_cast<PeerId>(trace_.peers.size());
+  metrics_.outcomes.resize(n);
+  for (PeerId i = 0; i < n; ++i) {
+    PeerOutcome& o = metrics_.outcomes[i];
+    const PeerState& p = peer(i);
+    o.peer = i;
+    o.behavior = p.behavior;
+    o.total_uploaded = p.total_up;
+    o.total_downloaded = p.total_down;
+    o.final_system_reputation = system_reputation(i);
+    o.files_requested = p.files_requested;
+    o.files_completed = p.files_completed;
+    o.time_downloading = p.time_downloading;
+    o.late_downloaded = p.late_downloaded;
+    o.late_time_downloading = p.late_time_downloading;
+  }
+}
+
+void CommunitySimulator::run() {
+  BC_ASSERT_MSG(!ran_, "run() must be called once");
+  ran_ = true;
+  engine_.run_until(trace_.duration);
+  finalize();
+  BC_DASSERT(std::all_of(swarms_.begin(), swarms_.end(), [](const auto& c) {
+    return c->swarm.check_invariants();
+  }));
+}
+
+}  // namespace bc::community

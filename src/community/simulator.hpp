@@ -1,0 +1,150 @@
+// Trace-based community simulator (paper §5.1).
+//
+// Combines every substrate into the experiment the paper runs: the
+// discrete-event engine drives per-peer session churn from the trace, a
+// round event advances piece-level BitTorrent (choking, optimistic
+// unchoking, rarest-first picking, bandwidth allocation across all swarms),
+// the epidemic PSS keeps per-peer views, and BarterCast messages flow over
+// the overlay into each peer's subjective history. Reputation policies hook
+// into the choker exactly as §4.2 describes.
+//
+// Swarm membership is tracker knowledge (as in BitTorrent); the PSS is used
+// for BarterCast partner sampling, mirroring Tribler's BuddyCast split.
+//
+// Determinism: given (trace, config) the run is bit-identical — every
+// stochastic component forks from the scenario seed and all iteration
+// orders are explicitly sorted.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bartercast/node.hpp"
+#include "bittorrent/choker.hpp"
+#include "bittorrent/swarm.hpp"
+#include "community/behavior.hpp"
+#include "community/metrics.hpp"
+#include "community/scenario.hpp"
+#include "gossip/pss.hpp"
+#include "net/overlay.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace bc::community {
+
+class CommunitySimulator {
+ public:
+  CommunitySimulator(trace::Trace trace, ScenarioConfig config);
+
+  /// Runs the full trace duration and finalizes the metrics.
+  void run();
+
+  const Metrics& metrics() const { return metrics_; }
+  const trace::Trace& trace() const { return trace_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  std::size_t num_trace_peers() const { return trace_.peers.size(); }
+  std::size_t num_total_peers() const { return peers_.size(); }
+  Behavior behavior(PeerId peer) const;
+/// Whether `peer` is one of the swarm's initial holders (seeds the file
+  /// permanently while online).
+  bool is_initial_holder(PeerId peer, SwarmId swarm_id) const;
+  const bartercast::Node& node(PeerId peer) const;
+  const net::Overlay& overlay() const { return overlay_; }
+  const sim::Engine& engine() const { return engine_; }
+  const bt::Swarm& swarm(SwarmId id) const;
+
+  /// System reputation of `peer`: average of the reputations it has at the
+  /// other trace peers (Equation 2). Exposed for probes and tests.
+  double system_reputation(PeerId peer);
+
+ private:
+  struct PeerState {
+    Behavior behavior = Behavior::kSharer;
+    std::unique_ptr<bartercast::Node> node;
+    Bytes total_up = 0;
+    Bytes total_down = 0;
+    std::size_t files_requested = 0;
+    std::size_t files_completed = 0;
+    Seconds time_downloading = 0.0;
+    Bytes late_downloaded = 0;
+    Seconds late_time_downloading = 0.0;
+    /// Swarms the peer is currently a member of and has not completed.
+    std::unordered_set<SwarmId> downloading;
+  };
+
+  struct ChokeState {
+    std::vector<PeerId> regular;
+    PeerId optimistic = kInvalidPeer;
+    Seconds next_rotation = 0.0;
+    bt::OptimisticRotator rotator;
+  };
+
+  struct SwarmCtx {
+    explicit SwarmCtx(bt::Swarm s) : swarm(std::move(s)) {}
+    bt::Swarm swarm;
+    std::unordered_map<PeerId, ChokeState> chokers;
+    /// Sharers' seeding deadlines (absolute time).
+    std::unordered_map<PeerId, Seconds> seed_until;
+    /// Initial holders: seed the file for the whole trace while online.
+    std::unordered_set<PeerId> permanent_seeds;
+    /// Directed links that carried an unchoke last round, for release.
+    std::unordered_set<std::uint64_t> prev_active;
+  };
+
+  struct RepCacheEntry {
+    Seconds at = -1.0e18;
+    double value = 0.0;
+  };
+
+  // --- setup ------------------------------------------------------------
+  void setup_peers();
+  void setup_swarms();
+  void schedule_trace_events();
+  void schedule_periodics();
+
+  // --- per-event logic ----------------------------------------------------
+  void attempt_join(PeerId peer, SwarmId swarm_id);
+  void round();
+  void choke_swarm(SwarmId swarm_id, const std::vector<PeerId>& online);
+  void gossip_tick(PeerId peer);
+  void on_barter_message(PeerId receiver, PeerId sender,
+                         const bartercast::BarterCastMessage& msg,
+                         bool is_reply);
+  void reputation_probe();
+  void handle_completion(SwarmId swarm_id, PeerId peer);
+  void finalize();
+
+  bartercast::BarterCastMessage make_outgoing_message(PeerId peer);
+
+  /// TTL-cached reputation for choking decisions.
+  double choker_reputation(PeerId evaluator, PeerId subject);
+
+  PeerState& peer(PeerId id);
+  const PeerState& peer(PeerId id) const;
+
+  trace::Trace trace_;
+  ScenarioConfig config_;
+  Rng rng_;
+
+  sim::Engine engine_;
+  net::Overlay overlay_;
+  gossip::PeerSamplingService pss_;
+
+  std::vector<PeerState> peers_;  // one per trace peer
+  std::vector<std::unique_ptr<SwarmCtx>> swarms_;
+
+  Metrics metrics_;
+  std::unordered_map<std::uint64_t, RepCacheEntry> rep_cache_;
+  /// Completions reported by Swarm::on_complete during the transfer phase,
+  /// processed at a safe point later in the same round.
+  std::vector<std::pair<SwarmId, PeerId>> pending_completions_;
+  /// Bytes received per peer in the current round (speed probe input).
+  std::unordered_map<PeerId, Bytes> round_received_;
+  bool ran_ = false;
+};
+
+}  // namespace bc::community

@@ -1,0 +1,105 @@
+#include "gossip/pss.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bc::gossip {
+
+PeerSamplingService::PeerSamplingService(Config config)
+    : config_(config), rng_(config.seed) {
+  BC_ASSERT(config_.view_size > 0);
+  BC_ASSERT(config_.exchange_size > 0);
+}
+
+void PeerSamplingService::register_peer(PeerId peer) {
+  const auto [_, inserted] = views_.try_emplace(peer);
+  BC_ASSERT_MSG(inserted, "peer registered twice");
+}
+
+bool PeerSamplingService::is_registered(PeerId peer) const {
+  return views_.contains(peer);
+}
+
+void PeerSamplingService::bootstrap(PeerId peer,
+                                    std::span<const PeerId> seeds) {
+  BC_ASSERT(is_registered(peer));
+  merge_into(peer, seeds);
+}
+
+void PeerSamplingService::merge_into(PeerId owner,
+                                     std::span<const PeerId> entries) {
+  auto& view = views_[owner];
+  for (PeerId p : entries) {
+    if (p == owner) continue;
+    if (std::find(view.begin(), view.end(), p) != view.end()) continue;
+    if (view.size() < config_.view_size) {
+      view.push_back(p);
+    } else {
+      view[rng_.index(view.size())] = p;
+    }
+  }
+}
+
+std::vector<PeerId> PeerSamplingService::random_slice(
+    const std::vector<PeerId>& from, std::size_t n) {
+  return rng_.sample(from, n);
+}
+
+PeerId PeerSamplingService::exchange(PeerId peer, const CanTalk& can_talk) {
+  BC_ASSERT(is_registered(peer));
+  auto& view = views_[peer];
+  if (view.empty()) return kInvalidPeer;
+
+  // Try view members in random order until a reachable, registered one is
+  // found. Unregistered/defunct entries are garbage-collected on the way.
+  std::vector<PeerId> order = view;
+  rng_.shuffle(order);
+  PeerId partner = kInvalidPeer;
+  for (PeerId candidate : order) {
+    if (!is_registered(candidate)) {
+      view.erase(std::remove(view.begin(), view.end(), candidate),
+                 view.end());
+      continue;
+    }
+    if (can_talk(peer, candidate)) {
+      partner = candidate;
+      break;
+    }
+  }
+  if (partner == kInvalidPeer) return kInvalidPeer;
+
+  // Swap slices; both sides also learn about the other endpoint itself.
+  std::vector<PeerId> mine = random_slice(view, config_.exchange_size);
+  mine.push_back(peer);
+  std::vector<PeerId> theirs =
+      random_slice(views_[partner], config_.exchange_size);
+  theirs.push_back(partner);
+  merge_into(peer, theirs);
+  merge_into(partner, mine);
+  return partner;
+}
+
+std::vector<PeerId> PeerSamplingService::sample(PeerId peer, std::size_t n,
+                                                const CanTalk& can_talk) {
+  BC_ASSERT(is_registered(peer));
+  const auto& view = views_.at(peer);
+  std::vector<PeerId> reachable;
+  reachable.reserve(view.size());
+  for (PeerId p : view) {
+    if (is_registered(p) && can_talk(peer, p)) reachable.push_back(p);
+  }
+  return rng_.sample(reachable, n);
+}
+
+std::vector<PeerId> PeerSamplingService::view(PeerId peer) const {
+  auto it = views_.find(peer);
+  return it == views_.end() ? std::vector<PeerId>{} : it->second;
+}
+
+std::size_t PeerSamplingService::view_size(PeerId peer) const {
+  auto it = views_.find(peer);
+  return it == views_.end() ? 0 : it->second.size();
+}
+
+}  // namespace bc::gossip

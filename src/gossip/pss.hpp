@@ -1,0 +1,71 @@
+// Epidemic Peer Sampling Service (paper §3.4).
+//
+// BarterCast assumes "that peers can discover other peers by using a Peer
+// Sampling Service (PSS). The actual implementation of such a service is
+// transparent to BarterCast" — Tribler uses the BuddyCast epidemic protocol.
+// This is a BuddyCast-flavoured view-exchange PSS: every peer keeps a
+// bounded view of peer ids; an exchange merges a random slice of the
+// partner's view into one's own (and vice versa), evicting random entries
+// when the view overflows. Liveness/reachability is delegated to a caller-
+// supplied predicate so the service composes with the overlay's
+// online/connectability model without depending on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace bc::gossip {
+
+class PeerSamplingService {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    std::size_t view_size = 20;
+    std::size_t exchange_size = 8;  // entries shipped per direction
+  };
+
+  /// Returns true when `a` can currently exchange messages with `b`.
+  using CanTalk = std::function<bool(PeerId a, PeerId b)>;
+
+  explicit PeerSamplingService(Config config);
+
+  void register_peer(PeerId peer);
+  bool is_registered(PeerId peer) const;
+
+  /// Seeds a peer's view (e.g. from a tracker or bootstrap list).
+  void bootstrap(PeerId peer, std::span<const PeerId> seeds);
+
+  /// One epidemic round initiated by `peer`: pick a reachable partner from
+  /// its view, swap exchange_size random entries both ways. Returns the
+  /// partner, or kInvalidPeer when no view member was reachable.
+  PeerId exchange(PeerId peer, const CanTalk& can_talk);
+
+  /// Up to n distinct peers sampled uniformly from `peer`'s view, filtered
+  /// by `can_talk(peer, candidate)`.
+  std::vector<PeerId> sample(PeerId peer, std::size_t n,
+                             const CanTalk& can_talk);
+
+  std::vector<PeerId> view(PeerId peer) const;
+  std::size_t view_size(PeerId peer) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  /// Inserts entries, deduplicating and evicting random old entries to
+  /// respect view_size. Never inserts the owner itself.
+  void merge_into(PeerId owner, std::span<const PeerId> entries);
+  std::vector<PeerId> random_slice(const std::vector<PeerId>& from,
+                                   std::size_t n);
+
+  Config config_;
+  Rng rng_;
+  std::unordered_map<PeerId, std::vector<PeerId>> views_;
+};
+
+}  // namespace bc::gossip

@@ -1,0 +1,135 @@
+#include "graph/flow_graph.hpp"
+
+#include "util/assert.hpp"
+
+namespace bc::graph {
+
+namespace {
+const std::unordered_map<PeerId, Bytes> kEmptyOut;
+const std::unordered_set<PeerId> kEmptyIn;
+}  // namespace
+
+void FlowGraph::touch(PeerId node) {
+  out_.try_emplace(node);
+  in_.try_emplace(node);
+}
+
+void FlowGraph::add_capacity(PeerId from, PeerId to, Bytes amount) {
+  BC_ASSERT(amount >= 0);
+  BC_ASSERT_MSG(from != to, "self-edges carry no reputation information");
+  touch(from);
+  touch(to);
+  if (amount == 0) return;
+  auto [it, inserted] = out_[from].try_emplace(to, 0);
+  it->second += amount;
+  if (inserted) {
+    in_[to].insert(from);
+    ++num_edges_;
+  }
+}
+
+void FlowGraph::set_capacity(PeerId from, PeerId to, Bytes amount) {
+  BC_ASSERT(amount >= 0);
+  BC_ASSERT_MSG(from != to, "self-edges carry no reputation information");
+  touch(from);
+  touch(to);
+  auto& adj = out_[from];
+  auto it = adj.find(to);
+  if (amount == 0) {
+    if (it != adj.end()) {
+      adj.erase(it);
+      in_[to].erase(from);
+      --num_edges_;
+    }
+    return;
+  }
+  if (it == adj.end()) {
+    adj.emplace(to, amount);
+    in_[to].insert(from);
+    ++num_edges_;
+  } else {
+    it->second = amount;
+  }
+}
+
+Bytes FlowGraph::capacity(PeerId from, PeerId to) const {
+  auto node = out_.find(from);
+  if (node == out_.end()) return 0;
+  auto edge = node->second.find(to);
+  return edge == node->second.end() ? 0 : edge->second;
+}
+
+bool FlowGraph::has_node(PeerId node) const { return out_.contains(node); }
+
+const std::unordered_map<PeerId, Bytes>& FlowGraph::out_edges(
+    PeerId node) const {
+  auto it = out_.find(node);
+  return it == out_.end() ? kEmptyOut : it->second;
+}
+
+const std::unordered_set<PeerId>& FlowGraph::in_edges(PeerId node) const {
+  auto it = in_.find(node);
+  return it == in_.end() ? kEmptyIn : it->second;
+}
+
+std::vector<PeerId> FlowGraph::nodes() const {
+  std::vector<PeerId> out;
+  out.reserve(out_.size());
+  for (const auto& [node, _] : out_) out.push_back(node);
+  return out;
+}
+
+Bytes FlowGraph::total_capacity() const {
+  Bytes total = 0;
+  for (const auto& [_, adj] : out_) {
+    for (const auto& [__, cap] : adj) total += cap;
+  }
+  return total;
+}
+
+void FlowGraph::remove_node(PeerId node) {
+  auto it = out_.find(node);
+  if (it == out_.end()) return;
+  // Drop outgoing edges and their reverse index entries.
+  for (const auto& [to, _] : it->second) {
+    in_[to].erase(node);
+    --num_edges_;
+  }
+  // Drop incoming edges.
+  for (PeerId from : in_[node]) {
+    out_[from].erase(node);
+    --num_edges_;
+  }
+  out_.erase(node);
+  in_.erase(node);
+}
+
+void FlowGraph::clear() {
+  out_.clear();
+  in_.clear();
+  num_edges_ = 0;
+}
+
+bool FlowGraph::check_invariants() const {
+  std::size_t edges = 0;
+  for (const auto& [from, adj] : out_) {
+    if (!in_.contains(from)) return false;
+    for (const auto& [to, cap] : adj) {
+      if (cap <= 0) return false;
+      auto in_it = in_.find(to);
+      if (in_it == in_.end() || !in_it->second.contains(from)) return false;
+      ++edges;
+    }
+  }
+  if (edges != num_edges_) return false;
+  // Every in-edge must have a matching out-edge.
+  for (const auto& [to, preds] : in_) {
+    for (PeerId from : preds) {
+      auto out_it = out_.find(from);
+      if (out_it == out_.end() || !out_it->second.contains(to)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bc::graph

@@ -1,0 +1,66 @@
+// Directed graph with non-negative integer edge capacities.
+//
+// In BarterCast the capacity c(i, j) is "the total number of bytes peer i
+// has uploaded to peer j in the past" (paper §3.2). The graph is sparse and
+// mutated incrementally as transfer records arrive, so it is stored as
+// per-node hash adjacency with a mirrored in-edge index for reverse
+// traversal (needed by the residual network of the maxflow algorithms).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace bc::graph {
+
+class FlowGraph {
+ public:
+  /// Adds `amount` to the capacity of edge (from, to). Creates nodes and the
+  /// edge as needed. `amount` must be >= 0; zero-amount calls still create
+  /// the nodes (but not the edge).
+  void add_capacity(PeerId from, PeerId to, Bytes amount);
+
+  /// Replaces the capacity of edge (from, to). A value of 0 removes the edge.
+  void set_capacity(PeerId from, PeerId to, Bytes amount);
+
+  /// Capacity of (from, to); 0 if the edge or either node is absent.
+  Bytes capacity(PeerId from, PeerId to) const;
+
+  bool has_node(PeerId node) const;
+  std::size_t num_nodes() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Successors of `node` with positive capacity. Empty map for unknown node.
+  const std::unordered_map<PeerId, Bytes>& out_edges(PeerId node) const;
+  /// Predecessors of `node` (nodes with a positive-capacity edge into it).
+  const std::unordered_set<PeerId>& in_edges(PeerId node) const;
+
+  /// All node ids, unordered.
+  std::vector<PeerId> nodes() const;
+
+  /// Sum of capacities of all edges.
+  Bytes total_capacity() const;
+
+  /// Removes a node and all incident edges. No-op for unknown node.
+  void remove_node(PeerId node);
+
+  void clear();
+
+  /// Internal consistency check (out/in indices mirror each other, all
+  /// capacities positive). Used by tests and BC_DASSERT call sites.
+  bool check_invariants() const;
+
+ private:
+  // Ensures the node exists in both indices.
+  void touch(PeerId node);
+
+  std::unordered_map<PeerId, std::unordered_map<PeerId, Bytes>> out_;
+  std::unordered_map<PeerId, std::unordered_set<PeerId>> in_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace bc::graph

@@ -1,0 +1,168 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bc::graph {
+
+namespace {
+
+/// Residual network: forward residuals start at the graph capacities,
+/// reverse residuals at zero (created lazily on augmentation). Line 9 of the
+/// paper's Algorithm 1 — f(j,i) -= cf(p) — is exactly the reverse-residual
+/// bookkeeping performed here.
+class Residual {
+ public:
+  explicit Residual(const FlowGraph& g) : g_(g) {}
+
+  Bytes residual(PeerId u, PeerId v) const {
+    if (auto it = delta_.find(key(u, v)); it != delta_.end()) {
+      return g_.capacity(u, v) + it->second;
+    }
+    return g_.capacity(u, v);
+  }
+
+  void augment(PeerId u, PeerId v, Bytes amount) {
+    delta_[key(u, v)] -= amount;
+    delta_[key(v, u)] += amount;
+  }
+
+  /// Neighbours reachable from u with positive residual capacity: all
+  /// forward out-edges plus any reverse edges created by augmentation.
+  template <typename Fn>
+  void for_each_residual_edge(PeerId u, Fn&& fn) const {
+    for (const auto& [v, _] : g_.out_edges(u)) {
+      const Bytes r = residual(u, v);
+      if (r > 0) fn(v, r);
+    }
+    // Reverse edges exist only toward predecessors in the original graph.
+    for (PeerId v : g_.in_edges(u)) {
+      if (g_.capacity(u, v) > 0) continue;  // already visited as forward
+      const Bytes r = residual(u, v);
+      if (r > 0) fn(v, r);
+    }
+  }
+
+ private:
+  static std::uint64_t key(PeerId u, PeerId v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  const FlowGraph& g_;
+  std::unordered_map<std::uint64_t, Bytes> delta_;
+};
+
+/// Depth-first search for an augmenting path of at most `depth_left` edges.
+/// Fills `path` with the node sequence s..t on success.
+bool dfs_find_path(const Residual& res, PeerId u, PeerId t, int depth_left,
+                   std::unordered_set<PeerId>& visited,
+                   std::vector<PeerId>& path) {
+  if (u == t) return true;
+  if (depth_left == 0) return false;
+  visited.insert(u);
+  bool found = false;
+  // Collect candidates first so recursion does not iterate a live structure;
+  // sort for run-to-run determinism (hash-map order is insertion-dependent).
+  std::vector<std::pair<PeerId, Bytes>> candidates;
+  res.for_each_residual_edge(
+      u, [&](PeerId v, Bytes r) { candidates.emplace_back(v, r); });
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& [v, _] : candidates) {
+    if (visited.contains(v)) continue;
+    path.push_back(v);
+    if (dfs_find_path(res, v, t, depth_left < 0 ? -1 : depth_left - 1, visited,
+                      path)) {
+      found = true;
+      break;
+    }
+    path.pop_back();
+  }
+  return found;
+}
+
+}  // namespace
+
+Bytes max_flow_ford_fulkerson(const FlowGraph& g, PeerId s, PeerId t,
+                              int max_path_edges) {
+  BC_ASSERT(max_path_edges == kUnboundedPathLength || max_path_edges >= 1);
+  if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
+  Residual res(g);
+  Bytes flow = 0;
+  for (;;) {
+    std::unordered_set<PeerId> visited;
+    std::vector<PeerId> path{s};
+    if (!dfs_find_path(res, s, t, max_path_edges, visited, path)) break;
+    // Bottleneck capacity along the path (line 6 of Algorithm 1).
+    Bytes bottleneck = res.residual(path[0], path[1]);
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      bottleneck = std::min(bottleneck, res.residual(path[i], path[i + 1]));
+    }
+    BC_ASSERT(bottleneck > 0);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      res.augment(path[i], path[i + 1], bottleneck);
+    }
+    flow += bottleneck;
+  }
+  return flow;
+}
+
+Bytes max_flow_edmonds_karp(const FlowGraph& g, PeerId s, PeerId t) {
+  if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
+  Residual res(g);
+  Bytes flow = 0;
+  for (;;) {
+    // BFS for the shortest augmenting path.
+    std::unordered_map<PeerId, PeerId> parent;
+    parent[s] = s;
+    std::deque<PeerId> queue{s};
+    bool reached = false;
+    while (!queue.empty() && !reached) {
+      const PeerId u = queue.front();
+      queue.pop_front();
+      std::vector<PeerId> next;
+      res.for_each_residual_edge(u, [&](PeerId v, Bytes) {
+        if (!parent.contains(v)) next.push_back(v);
+      });
+      std::sort(next.begin(), next.end());
+      for (PeerId v : next) {
+        if (parent.contains(v)) continue;  // may appear twice via fwd+rev
+        parent[v] = u;
+        if (v == t) {
+          reached = true;
+          break;
+        }
+        queue.push_back(v);
+      }
+    }
+    if (!reached) break;
+    Bytes bottleneck = 0;
+    for (PeerId v = t; v != s; v = parent[v]) {
+      const Bytes r = res.residual(parent[v], v);
+      bottleneck = bottleneck == 0 ? r : std::min(bottleneck, r);
+    }
+    BC_ASSERT(bottleneck > 0);
+    for (PeerId v = t; v != s; v = parent[v]) {
+      res.augment(parent[v], v, bottleneck);
+    }
+    flow += bottleneck;
+  }
+  return flow;
+}
+
+Bytes max_flow_two_hop(const FlowGraph& g, PeerId s, PeerId t) {
+  if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
+  Bytes flow = g.capacity(s, t);
+  for (const auto& [v, cap_sv] : g.out_edges(s)) {
+    if (v == t) continue;
+    const Bytes cap_vt = g.capacity(v, t);
+    if (cap_vt > 0) flow += std::min(cap_sv, cap_vt);
+  }
+  return flow;
+}
+
+}  // namespace bc::graph

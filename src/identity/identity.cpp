@@ -1,0 +1,53 @@
+#include "identity/identity.hpp"
+
+namespace bc::identity {
+
+PeerId IdentityManager::mint(UserId user) {
+  const PeerId id = next_identity_++;
+  owners_.emplace(id, user);
+  return id;
+}
+
+PeerId IdentityManager::register_user(UserId user) {
+  auto [it, inserted] = users_.try_emplace(user);
+  BC_ASSERT_MSG(inserted, "user registered twice");
+  it->second.current = mint(user);
+  it->second.identities = 1;
+  return it->second.current;
+}
+
+PeerId IdentityManager::current_identity(UserId user) const {
+  auto it = users_.find(user);
+  BC_ASSERT_MSG(it != users_.end(), "unknown user");
+  return it->second.current;
+}
+
+std::optional<UserId> IdentityManager::owner_of(PeerId identity) const {
+  auto it = owners_.find(identity);
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool IdentityManager::is_active(PeerId identity) const {
+  auto it = owners_.find(identity);
+  if (it == owners_.end()) return false;
+  return users_.at(it->second).current == identity;
+}
+
+PeerId IdentityManager::whitewash(UserId user) {
+  BC_ASSERT_MSG(scheme_ == IdentityScheme::kCheap,
+                "whitewashing requires cheap identities");
+  auto it = users_.find(user);
+  BC_ASSERT_MSG(it != users_.end(), "unknown user");
+  it->second.current = mint(user);
+  ++it->second.identities;
+  return it->second.current;
+}
+
+std::size_t IdentityManager::identity_count(UserId user) const {
+  auto it = users_.find(user);
+  BC_ASSERT_MSG(it != users_.end(), "unknown user");
+  return it->second.identities;
+}
+
+}  // namespace bc::identity

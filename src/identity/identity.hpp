@@ -1,0 +1,82 @@
+// Identity management and whitewashing (paper §3.5).
+//
+// "A common concern in reputation systems is whitewashing, i.e., users can
+// get rid of a negative reputation easily by assuming a new (cheap)
+// identity." The paper's deployed system relies on a machine-dependent
+// permanent identifier; assessing policies that do not depend on strong
+// identities is left as future work — which this module implements.
+//
+// The manager separates *users* (the stable actor behind a client) from
+// *peer identities* (what the protocol sees). Under the kPermanent scheme a
+// user keeps one identity for life; under kCheap a user may retire its
+// identity and register a fresh one at any time, which is exactly the
+// whitewashing move.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/ids.hpp"
+
+namespace bc::identity {
+
+/// Stable identifier of the human/machine behind a client.
+using UserId = std::uint32_t;
+
+enum class IdentityScheme {
+  /// Identities are one-to-one with users (e.g. tied to hardware); a user
+  /// can never shed its history. This is what deployed Tribler assumes.
+  kPermanent,
+  /// Identities are free to mint; whitewashing is possible.
+  kCheap,
+};
+
+class IdentityManager {
+ public:
+  explicit IdentityManager(IdentityScheme scheme) : scheme_(scheme) {}
+
+  IdentityScheme scheme() const { return scheme_; }
+
+  /// Registers a new user and returns its first peer identity.
+  PeerId register_user(UserId user);
+
+  /// The user's current peer identity.
+  PeerId current_identity(UserId user) const;
+
+  /// The user behind an identity (including retired identities), or
+  /// std::nullopt for identities this manager never issued.
+  std::optional<UserId> owner_of(PeerId identity) const;
+
+  /// Whether the identity is the *current* one of some user.
+  bool is_active(PeerId identity) const;
+
+  /// Drops the user's current identity and issues a fresh one. Only
+  /// possible under the kCheap scheme (asserts otherwise — a caller must
+  /// model "considerable programming skill" barriers explicitly, not by
+  /// accident). Returns the new identity.
+  PeerId whitewash(UserId user);
+
+  /// Number of identities the user has burned through (1 = never washed).
+  std::size_t identity_count(UserId user) const;
+
+  std::size_t num_users() const { return users_.size(); }
+  std::size_t num_identities_issued() const { return owners_.size(); }
+
+ private:
+  struct UserState {
+    PeerId current = kInvalidPeer;
+    std::size_t identities = 0;
+  };
+
+  PeerId mint(UserId user);
+
+  IdentityScheme scheme_;
+  PeerId next_identity_ = 0;
+  std::unordered_map<UserId, UserState> users_;
+  std::unordered_map<PeerId, UserId> owners_;
+};
+
+}  // namespace bc::identity

@@ -1,0 +1,37 @@
+#include "identity/stranger.hpp"
+
+namespace bc::identity {
+
+StrangerPolicy StrangerPolicy::fixed(double penalty) {
+  BC_ASSERT_MSG(penalty <= 0.0 && penalty >= -1.0,
+                "a stranger penalty is a reputation value in [-1, 0]");
+  return StrangerPolicy(StrangerPolicyKind::kFixed, penalty);
+}
+
+bool StrangerPolicy::is_stranger(const bartercast::ReputationEngine& engine,
+                                 const graph::FlowGraph& graph,
+                                 PeerId evaluator, PeerId subject) {
+  if (evaluator == subject) return false;
+  return engine.flow(graph, subject, evaluator) == 0 &&
+         engine.flow(graph, evaluator, subject) == 0;
+}
+
+double StrangerPolicy::effective_reputation(
+    const bartercast::ReputationEngine& engine, const graph::FlowGraph& graph,
+    PeerId evaluator, PeerId subject,
+    const AdaptiveStrangerEstimator& estimator) const {
+  if (!is_stranger(engine, graph, evaluator, subject)) {
+    return engine.reputation(graph, evaluator, subject);
+  }
+  switch (kind_) {
+    case StrangerPolicyKind::kNeutral:
+      return 0.0;
+    case StrangerPolicyKind::kFixed:
+      return penalty_;
+    case StrangerPolicyKind::kAdaptive:
+      return estimator.value();
+  }
+  return 0.0;
+}
+
+}  // namespace bc::identity

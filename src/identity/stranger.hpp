@@ -1,0 +1,86 @@
+// Stranger policies (paper §3.5, after Feldman et al.).
+//
+// When identities are cheap, "newcomers are undistinguishable from
+// whitewashers and the only approach is to impose a penalty on all
+// newcomers. This penalty can be static or it can be determined dynamically
+// using an adaptive stranger policy."
+//
+// A stranger, from an evaluator's viewpoint, is a peer about which its
+// subjective graph carries no flow in either direction. The policy assigns
+// such peers an *effective* reputation:
+//   kNeutral  — 0, i.e. BarterCast's default (no penalty);
+//   kFixed    — a configured penalty value;
+//   kAdaptive — the running estimate of what strangers historically turned
+//               out to deserve (EWMA over realized first impressions).
+#pragma once
+
+#include "bartercast/reputation.hpp"
+#include "graph/flow_graph.hpp"
+#include "util/assert.hpp"
+#include "util/ids.hpp"
+
+namespace bc::identity {
+
+enum class StrangerPolicyKind { kNeutral, kFixed, kAdaptive };
+
+/// EWMA estimator of the reputation strangers end up earning: each time a
+/// former stranger's true colours become visible (its first nonzero
+/// reputation at this evaluator), the realized value is folded in.
+class AdaptiveStrangerEstimator {
+ public:
+  explicit AdaptiveStrangerEstimator(double smoothing = 0.1,
+                                     double initial = 0.0)
+      : alpha_(smoothing), value_(initial) {
+    BC_ASSERT(smoothing > 0.0 && smoothing <= 1.0);
+  }
+
+  void observe(double realized_reputation) {
+    value_ = (1.0 - alpha_) * value_ + alpha_ * realized_reputation;
+    ++observations_;
+  }
+
+  double value() const { return value_; }
+  std::size_t observations() const { return observations_; }
+
+ private:
+  double alpha_;
+  double value_;
+  std::size_t observations_ = 0;
+};
+
+class StrangerPolicy {
+ public:
+  static StrangerPolicy neutral() {
+    return StrangerPolicy(StrangerPolicyKind::kNeutral, 0.0);
+  }
+  /// Fixed penalty in [-1, 0].
+  static StrangerPolicy fixed(double penalty);
+  static StrangerPolicy adaptive() {
+    return StrangerPolicy(StrangerPolicyKind::kAdaptive, 0.0);
+  }
+
+  StrangerPolicyKind kind() const { return kind_; }
+  double fixed_penalty() const { return penalty_; }
+
+  /// Whether `subject` is a stranger to `evaluator` on this graph: no flow
+  /// toward or from the evaluator under the engine's maxflow mode.
+  static bool is_stranger(const bartercast::ReputationEngine& engine,
+                          const graph::FlowGraph& graph, PeerId evaluator,
+                          PeerId subject);
+
+  /// The reputation the choker should act on: the real subjective value for
+  /// known peers, the stranger value for strangers.
+  double effective_reputation(const bartercast::ReputationEngine& engine,
+                              const graph::FlowGraph& graph, PeerId evaluator,
+                              PeerId subject,
+                              const AdaptiveStrangerEstimator& estimator) const;
+
+ private:
+  StrangerPolicy(StrangerPolicyKind kind, double penalty)
+      : kind_(kind), penalty_(penalty) {}
+
+  StrangerPolicyKind kind_;
+  double penalty_;
+};
+
+}  // namespace bc::identity

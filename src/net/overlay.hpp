@@ -1,0 +1,88 @@
+// Overlay message layer.
+//
+// Sits on top of the discrete-event engine and models the only network
+// properties the paper's evaluation depends on: per-message latency, peer
+// online/offline churn (from the trace) and connectability (NAT): a pair of
+// peers can communicate only if both are online and at least one of them is
+// connectable.
+//
+// Payloads are polymorphic (Payload subclass per protocol message); the
+// receiver's handler downcasts. This keeps the overlay independent of the
+// protocols layered on it (gossip, BarterCast).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bc::net {
+
+/// Base class for protocol messages carried by the overlay.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+};
+
+/// Uniform random latency in [min, max). Deterministic given the overlay rng.
+struct LatencyModel {
+  Seconds min = 0.02;
+  Seconds max = 0.25;
+};
+
+class Overlay {
+ public:
+  using Handler =
+      std::function<void(PeerId from, const Payload& message)>;
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_sender_offline = 0;
+    std::uint64_t dropped_receiver_offline = 0;
+    std::uint64_t dropped_unconnectable = 0;
+  };
+
+  Overlay(sim::Engine& engine, Rng rng, LatencyModel latency = {});
+
+  /// Registers a peer. `connectable` models NAT/firewall reachability and is
+  /// fixed for the lifetime of the peer (as in the trace schema). Peers
+  /// start offline.
+  void register_peer(PeerId id, Handler handler, bool connectable);
+
+  bool is_registered(PeerId id) const;
+  void set_online(PeerId id, bool online);
+  bool online(PeerId id) const;
+  bool connectable(PeerId id) const;
+
+  /// Two peers can exchange messages iff both are online and at least one
+  /// is connectable (the connectable one accepts the connection).
+  bool can_communicate(PeerId a, PeerId b) const;
+
+  /// Sends a message; it is delivered after the latency delay if the
+  /// receiver is still online at delivery time (otherwise dropped). Returns
+  /// true if the message left the sender (i.e. the pair could communicate).
+  bool send(PeerId from, PeerId to, std::unique_ptr<Payload> message);
+
+  const Stats& stats() const { return stats_; }
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  struct PeerState {
+    Handler handler;
+    bool connectable = false;
+    bool online = false;
+  };
+
+  sim::Engine& engine_;
+  Rng rng_;
+  LatencyModel latency_;
+  std::unordered_map<PeerId, PeerState> peers_;
+  Stats stats_;
+};
+
+}  // namespace bc::net

@@ -1,0 +1,90 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bc::sim {
+
+EventId Engine::schedule_at(Seconds t, EventFn fn) {
+  BC_ASSERT_MSG(t >= now_, "cannot schedule events in the past");
+  BC_ASSERT(fn != nullptr);
+  const EventId id = next_id_++;
+  payloads_.emplace(id, std::move(fn));
+  queue_.push(Event{t, id});
+  return id;
+}
+
+EventId Engine::schedule_after(Seconds dt, EventFn fn) {
+  BC_ASSERT(dt >= 0.0);
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+EventId Engine::schedule_periodic(Seconds start, Seconds period, EventFn fn) {
+  BC_ASSERT(period > 0.0);
+  BC_ASSERT(fn != nullptr);
+  const EventId id = next_id_++;
+  periodics_.emplace(id, Periodic{period, std::move(fn)});
+  // The heap entry reuses the same id on every repetition, so one cancel()
+  // stops the whole series.
+  payloads_.emplace(id, EventFn{});  // marker; real fn lives in periodics_
+  queue_.push(Event{start, id});
+  return id;
+}
+
+void Engine::cancel(EventId id) {
+  payloads_.erase(id);
+  periodics_.erase(id);
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto payload = payloads_.find(ev.id);
+    if (payload == payloads_.end()) continue;  // cancelled
+    BC_ASSERT(ev.time >= now_);
+    now_ = ev.time;
+    ++processed_;
+    if (auto periodic = periodics_.find(ev.id); periodic != periodics_.end()) {
+      // Re-arm before running so the callback may cancel itself.
+      queue_.push(Event{now_ + periodic->second.period, ev.id});
+      // Copy: the callback may cancel(id) and invalidate the map entry.
+      EventFn fn = periodic->second.fn;
+      fn();
+    } else {
+      EventFn fn = std::move(payload->second);
+      payloads_.erase(payload);
+      fn();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Seconds t_end) {
+  BC_ASSERT(t_end >= now_);
+  while (!queue_.empty()) {
+    // Peek through cancelled entries without executing.
+    const Event ev = queue_.top();
+    if (!payloads_.contains(ev.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (ev.time > t_end) break;
+    step();
+  }
+  now_ = t_end;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+std::size_t Engine::pending_events() const {
+  // Upper bound only if cancellations are pending; exact after they drain.
+  return payloads_.size();
+}
+
+}  // namespace bc::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded by design (see DESIGN.md): one Engine owns one simulated
+// world. Events at equal timestamps run in scheduling order (a monotonically
+// increasing sequence number breaks ties), which makes runs bit-identical
+// for a given scenario seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bc::sim {
+
+/// Handle to a scheduled (or periodic) event, usable for cancellation.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Current simulation time. Starts at 0.
+  Seconds now() const { return now_; }
+
+  /// Number of events executed so far (skipped/cancelled events excluded).
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now). Returns a cancellable id.
+  EventId schedule_at(Seconds t, EventFn fn);
+
+  /// Schedules `fn` after a delay `dt` (>= 0).
+  EventId schedule_after(Seconds dt, EventFn fn);
+
+  /// Schedules `fn` every `period` seconds, first firing at `start`.
+  /// The callback keeps firing until the returned id is cancelled or the
+  /// run ends. `period` must be > 0.
+  EventId schedule_periodic(Seconds start, Seconds period, EventFn fn);
+
+  /// Cancels a pending or periodic event. Safe to call redundantly, also
+  /// from inside event callbacks (including the event's own callback, in
+  /// which case a periodic event stops repeating).
+  void cancel(EventId id);
+
+  /// Executes the next pending event, if any. Returns false when the queue
+  /// has drained.
+  bool step();
+
+  /// Runs until the queue drains or simulation time would exceed `t_end`.
+  /// Events scheduled exactly at `t_end` still run. Afterwards now()==t_end
+  /// unless the queue drained earlier.
+  void run_until(Seconds t_end);
+
+  /// Drains the queue completely.
+  void run();
+
+  std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    Seconds time;
+    EventId id;
+    // Ordering for the min-heap: earliest time first, then lowest id, so
+    // same-time events run in the order they were scheduled.
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  struct Periodic {
+    Seconds period;
+    EventFn fn;
+  };
+
+  EventId next_id_ = 1;
+  Seconds now_ = 0.0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Payloads live outside the heap so cancellation frees them promptly.
+  std::unordered_map<EventId, EventFn> payloads_;
+  std::unordered_map<EventId, Periodic> periodics_;
+};
+
+}  // namespace bc::sim

@@ -1,0 +1,153 @@
+#include "trace/csv.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace bc::trace {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(pos));
+      break;
+    }
+    out.push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+void write_csv(const Trace& trace, std::ostream& os) {
+  // Times must round-trip exactly; max_digits10 guarantees that.
+  os.precision(17);
+  os << "#trace," << trace.duration << '\n';
+  for (const auto& f : trace.files) {
+    os << "#file," << f.id << ',' << f.size << ',' << f.piece_size << '\n';
+  }
+  for (const auto& p : trace.peers) {
+    os << "#peer," << p.id << ',' << (p.connectable ? 1 : 0) << '\n';
+    for (const auto& s : p.sessions) {
+      os << "#session," << p.id << ',' << s.start << ',' << s.end << '\n';
+    }
+  }
+  for (const auto& r : trace.requests) {
+    os << "#request," << r.peer << ',' << r.swarm << ',' << r.at << '\n';
+  }
+}
+
+std::string to_csv(const Trace& trace) {
+  std::ostringstream os;
+  write_csv(trace, os);
+  return os.str();
+}
+
+std::optional<Trace> read_csv(std::istream& is, std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Trace> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  Trace tr;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split(line);
+    const std::string& tag = fields[0];
+    auto bad = [&] {
+      return fail("line " + std::to_string(line_no) + ": malformed " + tag);
+    };
+    if (tag == "#trace") {
+      if (fields.size() != 2 || !parse_double(fields[1], tr.duration)) {
+        return bad();
+      }
+    } else if (tag == "#file") {
+      std::int64_t id = 0, size = 0, piece = 0;
+      if (fields.size() != 4 || !parse_i64(fields[1], id) ||
+          !parse_i64(fields[2], size) || !parse_i64(fields[3], piece)) {
+        return bad();
+      }
+      FileMeta f;
+      f.id = static_cast<SwarmId>(id);
+      f.size = size;
+      f.piece_size = piece;
+      tr.files.push_back(f);
+    } else if (tag == "#peer") {
+      std::int64_t id = 0, connectable = 0;
+      if (fields.size() != 3 || !parse_i64(fields[1], id) ||
+          !parse_i64(fields[2], connectable)) {
+        return bad();
+      }
+      PeerProfile p;
+      p.id = static_cast<PeerId>(id);
+      p.connectable = connectable != 0;
+      tr.peers.push_back(std::move(p));
+    } else if (tag == "#session") {
+      std::int64_t id = 0;
+      Session s;
+      if (fields.size() != 4 || !parse_i64(fields[1], id) ||
+          !parse_double(fields[2], s.start) ||
+          !parse_double(fields[3], s.end)) {
+        return bad();
+      }
+      const auto peer = static_cast<std::size_t>(id);
+      if (peer >= tr.peers.size()) {
+        return fail("line " + std::to_string(line_no) +
+                    ": session before its #peer line");
+      }
+      tr.peers[peer].sessions.push_back(s);
+    } else if (tag == "#request") {
+      std::int64_t peer = 0, swarm = 0;
+      SwarmRequest r;
+      if (fields.size() != 4 || !parse_i64(fields[1], peer) ||
+          !parse_i64(fields[2], swarm) || !parse_double(fields[3], r.at)) {
+        return bad();
+      }
+      r.peer = static_cast<PeerId>(peer);
+      r.swarm = static_cast<SwarmId>(swarm);
+      tr.requests.push_back(r);
+    } else if (tag.starts_with("#")) {
+      continue;  // comment
+    } else {
+      return fail("line " + std::to_string(line_no) + ": unknown record");
+    }
+  }
+  if (const std::string problem = tr.validate(); !problem.empty()) {
+    return fail("invalid trace: " + problem);
+  }
+  return tr;
+}
+
+std::optional<Trace> from_csv(const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  return read_csv(is, error);
+}
+
+}  // namespace bc::trace

@@ -1,0 +1,30 @@
+// CSV serialization of traces.
+//
+// Format (one file, sectioned so a trace stays a single artifact):
+//   #trace,duration
+//   #file,id,size,piece_size
+//   #peer,id,connectable
+//   #session,peer,start,end
+//   #request,peer,swarm,at
+// Sections may interleave; lines starting with '#' other than the section
+// tags above and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace bc::trace {
+
+void write_csv(const Trace& trace, std::ostream& os);
+std::string to_csv(const Trace& trace);
+
+/// Parses a trace; returns std::nullopt (and fills *error if given) on
+/// malformed input or when the parsed trace fails validate().
+std::optional<Trace> read_csv(std::istream& is, std::string* error = nullptr);
+std::optional<Trace> from_csv(const std::string& text,
+                              std::string* error = nullptr);
+
+}  // namespace bc::trace

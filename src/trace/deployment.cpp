@@ -1,0 +1,104 @@
+#include "trace/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bc::trace {
+
+DeploymentPopulation generate_deployment(const DeploymentConfig& cfg) {
+  BC_ASSERT(cfg.num_peers >= 2);
+  BC_ASSERT(cfg.idle_fraction >= 0.0 && cfg.idle_fraction < 1.0);
+  BC_ASSERT(cfg.external_fraction >= 0.0 && cfg.external_fraction <= 1.0);
+
+  Rng rng(cfg.seed);
+  DeploymentPopulation pop;
+  pop.num_peers = cfg.num_peers;
+  pop.total_up.assign(cfg.num_peers, 0);
+  pop.total_down.assign(cfg.num_peers, 0);
+
+  // Hub weights: every peer gets a Pareto weight; uploads concentrate on
+  // high-weight peers, which turns them into the net-uploader/altruist tail.
+  std::vector<double> weight(cfg.num_peers);
+  std::vector<bool> idle(cfg.num_peers);
+  for (std::size_t i = 0; i < cfg.num_peers; ++i) {
+    weight[i] = rng.pareto(1.0, cfg.hub_alpha);
+    idle[i] = rng.chance(cfg.idle_fraction);
+  }
+  // Idle peers never serve uploads either.
+  for (std::size_t i = 0; i < cfg.num_peers; ++i) {
+    if (idle[i]) weight[i] = 0.0;
+  }
+
+  // Cumulative weights for O(log n) weighted partner sampling.
+  std::vector<double> cum(cfg.num_peers);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < cfg.num_peers; ++i) {
+    acc += weight[i];
+    cum[i] = acc;
+  }
+  BC_ASSERT_MSG(acc > 0.0, "all peers idle; lower idle_fraction");
+  auto sample_partner = [&](PeerId self) -> PeerId {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const double r = rng.uniform(0.0, acc);
+      const auto it = std::lower_bound(cum.begin(), cum.end(), r);
+      const auto idx = static_cast<PeerId>(it - cum.begin());
+      if (idx != self && !idle[idx]) return idx;
+    }
+    return kInvalidPeer;
+  };
+
+  const double mu = std::log(static_cast<double>(cfg.download_median));
+  std::map<std::pair<PeerId, PeerId>, Bytes> edges;
+
+  for (PeerId i = 0; i < cfg.num_peers; ++i) {
+    if (idle[i]) continue;
+    const auto volume =
+        static_cast<Bytes>(rng.lognormal(mu, cfg.download_sigma));
+    if (volume <= 0) continue;
+    const auto external = static_cast<Bytes>(
+        static_cast<double>(volume) * cfg.external_fraction);
+    pop.total_down[i] += external;  // served by non-Tribler clients
+
+    const Bytes internal = volume - external;
+    const auto num_partners = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(cfg.partners_min),
+        static_cast<std::int64_t>(cfg.partners_max)));
+    if (num_partners == 0 || internal <= 0) continue;
+
+    // Split the internal volume across partners with random proportions.
+    std::vector<double> shares(num_partners);
+    double share_sum = 0.0;
+    for (auto& s : shares) {
+      s = rng.exponential(1.0);
+      share_sum += s;
+    }
+    for (double s : shares) {
+      const PeerId up = sample_partner(i);
+      if (up == kInvalidPeer) continue;
+      const auto amount =
+          static_cast<Bytes>(static_cast<double>(internal) * s / share_sum);
+      if (amount <= 0) continue;
+      edges[{up, i}] += amount;
+      pop.total_up[up] += amount;
+      pop.total_down[i] += amount;
+    }
+    // Active peers also seed a little to external clients now and then.
+    if (rng.chance(0.3)) {
+      pop.total_up[i] +=
+          static_cast<Bytes>(rng.lognormal(mu - 1.5, cfg.download_sigma));
+    }
+  }
+
+  pop.transfers.reserve(edges.size());
+  for (const auto& [key, amount] : edges) {
+    pop.transfers.push_back(TransferEdge{key.first, key.second, amount});
+  }
+  return pop;
+}
+
+}  // namespace bc::trace

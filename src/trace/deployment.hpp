@@ -1,0 +1,74 @@
+// Synthetic Tribler-deployment population (Figure 4 substitute).
+//
+// The paper's Figure 4 reports one month of observation of ~5000 peers by a
+// single instrumented Tribler client: (a) per-peer upload minus download and
+// (b) the CDF of the reputation of those peers as computed by the observer.
+// We cannot rerun that deployment, so this generator synthesizes the
+// population with the features the figure exhibits:
+//  * a large mass of peers with exactly zero activity (fresh installs),
+//  * a majority of the active peers being net downloaders,
+//  * a small set of hub-like peers that become net uploaders, with a heavy
+//    tail of multi-gigabyte altruists,
+//  * global upload != global download (Tribler peers also barter with
+//    non-Tribler BitTorrent clients, modeled as transfers to an external
+//    sink/source).
+//
+// The generator emits the actual pairwise transfer edges, not just totals,
+// so the observer experiment can run the real BarterCast message and
+// reputation code paths on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace bc::trace {
+
+/// One directed transfer aggregate: `from` uploaded `amount` to `to`.
+struct TransferEdge {
+  PeerId from = kInvalidPeer;
+  PeerId to = kInvalidPeer;
+  Bytes amount = 0;
+  friend bool operator==(const TransferEdge&, const TransferEdge&) = default;
+};
+
+struct DeploymentConfig {
+  std::uint64_t seed = 7;
+  std::size_t num_peers = 5000;
+
+  /// Fraction of peers that installed the client but moved no data.
+  double idle_fraction = 0.5;
+
+  /// Download volume of an active peer: lognormal, parameterized by the
+  /// median (in bytes) and sigma of the underlying normal.
+  Bytes download_median = gib(1.5);
+  double download_sigma = 1.2;
+
+  /// Number of distinct upload partners an active peer downloads from.
+  std::size_t partners_min = 4;
+  std::size_t partners_max = 25;
+
+  /// Pareto shape for hub weights; smaller = heavier upload concentration.
+  double hub_alpha = 1.1;
+
+  /// Fraction of each peer's download volume served by peers outside the
+  /// observed population (plain BitTorrent clients). This breaks the
+  /// global upload == download identity, as in the real measurement.
+  double external_fraction = 0.25;
+};
+
+struct DeploymentPopulation {
+  std::size_t num_peers = 0;
+  /// Aggregated transfers between observed peers (no duplicates, from < to
+  /// not guaranteed; both directions may appear).
+  std::vector<TransferEdge> transfers;
+  /// Per-peer totals including traffic with external (unobserved) clients.
+  std::vector<Bytes> total_up;
+  std::vector<Bytes> total_down;
+};
+
+DeploymentPopulation generate_deployment(const DeploymentConfig& config);
+
+}  // namespace bc::trace

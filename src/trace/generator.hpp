@@ -1,0 +1,62 @@
+// Synthetic trace generator (filelist.org stand-in).
+//
+// The real traces are private; this generator produces instances with the
+// same schema and the statistical features the experiments rely on:
+//  * per-peer session churn (alternating online/offline periods with a
+//    per-peer availability level),
+//  * a fixed connectable fraction (NAT),
+//  * Zipf-skewed file popularity across swarms,
+//  * file sizes from tens of MiB to ~2 GiB (audio through movies),
+//  * each peer requesting a handful of files during the trace, biased to
+//    the earlier days so downloads can complete within the window.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace bc::trace {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+  std::size_t num_peers = 100;
+  std::size_t num_swarms = 10;
+  Seconds duration = kWeek;
+
+  /// Fraction of peers that are connectable (not NATed).
+  double connectable_fraction = 0.6;
+
+  /// Per-peer availability is drawn uniformly from this range; a peer with
+  /// availability a alternates online periods of mean a*cycle and offline
+  /// periods of mean (1-a)*cycle.
+  double availability_min = 0.35;
+  double availability_max = 0.95;
+  Seconds churn_cycle = 12.0 * kHour;
+
+  /// File sizes are log-uniform in [file_size_min, file_size_max].
+  Bytes file_size_min = mib(200);
+  Bytes file_size_max = gib(1.5);
+  Bytes piece_size = mib(1.0);
+
+  /// Number of files each peer requests, uniform in [min, max] (capped at
+  /// num_swarms).
+  std::size_t requests_per_peer_min = 4;
+  std::size_t requests_per_peer_max = 9;
+
+  /// Zipf exponent for file popularity.
+  double popularity_skew = 0.8;
+
+  /// Releases: each file goes live at a random time within the first
+  /// `request_window` fraction of the trace, and its requests arrive in a
+  /// flash crowd after the release (exponential decay with mean
+  /// `request_decay`). This is how private-tracker swarms actually form,
+  /// and it is what makes swarms thick enough for upload slots to be
+  /// contested.
+  double request_window = 0.75;
+  Seconds request_decay = 2.0 * kHour;
+};
+
+/// Generates a valid trace; the result is deterministic in the config.
+Trace generate(const GeneratorConfig& config);
+
+}  // namespace bc::trace

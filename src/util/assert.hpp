@@ -1,0 +1,41 @@
+// Lightweight assertion macros for the BarterCast libraries.
+//
+// BC_ASSERT is active in all build types: simulator correctness depends on
+// internal invariants, and the cost of the checks is negligible next to the
+// simulation work itself. BC_DASSERT compiles out in NDEBUG builds and is
+// reserved for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "BC_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace bc::detail
+
+#define BC_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::bc::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                \
+  } while (false)
+
+#define BC_ASSERT_MSG(expr, msg)                                   \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::bc::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                              \
+  } while (false)
+
+#ifdef NDEBUG
+#define BC_DASSERT(expr) ((void)0)
+#else
+#define BC_DASSERT(expr) BC_ASSERT(expr)
+#endif

@@ -1,0 +1,102 @@
+#include "util/flags.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace bc {
+
+std::optional<Flags> Flags::parse(
+    int argc, const char* const* argv,
+    const std::map<std::string, std::string>& allowed) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    if (!allowed.contains(name)) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      return std::nullopt;
+    }
+    if (!have_value) {
+      // --name value form, unless the next token is another flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean
+      }
+    }
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+std::string Flags::usage(const std::string& program,
+                         const std::map<std::string, std::string>& allowed) {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, help] : allowed) {
+    os << "  --" << name << "  " << help << '\n';
+  }
+  return os.str();
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::int64_t out = 0;
+  const auto& s = it->second;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    std::fprintf(stderr, "flag --%s: expected integer, got '%s'\n",
+                 name.c_str(), s.c_str());
+    valid_ = false;
+    return fallback;
+  }
+  return out;
+}
+
+double Flags::get_double(const std::string& name, double fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trail");
+    return out;
+  } catch (...) {
+    std::fprintf(stderr, "flag --%s: expected number, got '%s'\n",
+                 name.c_str(), it->second.c_str());
+    valid_ = false;
+    return fallback;
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace bc

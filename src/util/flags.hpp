@@ -1,0 +1,52 @@
+// Minimal command-line flag parser for the example/tool binaries.
+//
+// Supports --name=value and --name value forms, plus bare --name for
+// booleans. Unknown flags are an error (typos should not silently run a
+// different experiment). No global state: one Flags object per main().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bc {
+
+class Flags {
+ public:
+  /// Parses argv; returns std::nullopt and prints a diagnostic to stderr on
+  /// malformed input. `allowed` lists every legal flag name (without the
+  /// leading dashes) and its help text.
+  static std::optional<Flags> parse(
+      int argc, const char* const* argv,
+      const std::map<std::string, std::string>& allowed);
+
+  /// Renders a usage block from the allowed-flag table.
+  static std::string usage(const std::string& program,
+                           const std::map<std::string, std::string>& allowed);
+
+  bool has(const std::string& name) const;
+
+  /// Typed accessors; return `fallback` when the flag is absent. A present
+  /// flag with an unparsable value returns std::nullopt from the *_opt
+  /// variants and `fallback` plus an error mark from the plain ones — use
+  /// valid() after parsing values to detect that.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback);
+  double get_double(const std::string& name, double fallback);
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// False if any typed accessor saw an unparsable value.
+  bool valid() const { return valid_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  bool valid_ = true;
+};
+
+}  // namespace bc

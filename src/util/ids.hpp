@@ -1,0 +1,39 @@
+// Shared identifier types.
+//
+// The whole code base addresses peers and swarms by dense small integers;
+// the trace layer owns the mapping to any external identity (a permanent
+// Tribler-style identifier in deployment, a trace row in simulation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace bc {
+
+/// Identifies a peer in the community. Dense, starting at 0.
+using PeerId = std::uint32_t;
+
+/// Identifies a swarm (one torrent/file being shared).
+using SwarmId = std::uint32_t;
+
+inline constexpr PeerId kInvalidPeer = std::numeric_limits<PeerId>::max();
+inline constexpr SwarmId kInvalidSwarm = std::numeric_limits<SwarmId>::max();
+
+/// Unordered pair of peers, canonicalized so (a,b) == (b,a).
+struct PeerPair {
+  PeerId lo;
+  PeerId hi;
+
+  PeerPair(PeerId a, PeerId b) : lo(a < b ? a : b), hi(a < b ? b : a) {}
+  friend bool operator==(const PeerPair&, const PeerPair&) = default;
+};
+
+struct PeerPairHash {
+  std::size_t operator()(const PeerPair& p) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.lo) << 32) | p.hi);
+  }
+};
+
+}  // namespace bc

@@ -1,0 +1,34 @@
+#include "util/logging.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace bc {
+
+void Logger::log(LogLevel level, const std::string& message) {
+  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+               message.c_str());
+}
+
+namespace detail {
+
+std::string format_log(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace bc

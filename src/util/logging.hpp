@@ -1,0 +1,56 @@
+// Minimal leveled logging used across the simulator.
+//
+// The simulator is single-threaded; the logger therefore keeps no locks.
+// Benches set the level to Warn so that experiment output stays clean.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace bc {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+};
+
+namespace detail {
+
+std::string format_log(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace detail
+
+}  // namespace bc
+
+// printf-style logging macros; arguments are not evaluated when the level is
+// disabled, which matters in hot simulation loops.
+#define BC_LOG(level, ...)                                          \
+  do {                                                              \
+    if (::bc::Logger::instance().enabled(level)) {                  \
+      ::bc::Logger::instance().log(                                 \
+          level, ::bc::detail::format_log(__VA_ARGS__));            \
+    }                                                               \
+  } while (false)
+
+#define BC_TRACE(...) BC_LOG(::bc::LogLevel::Trace, __VA_ARGS__)
+#define BC_DEBUG(...) BC_LOG(::bc::LogLevel::Debug, __VA_ARGS__)
+#define BC_INFO(...) BC_LOG(::bc::LogLevel::Info, __VA_ARGS__)
+#define BC_WARN(...) BC_LOG(::bc::LogLevel::Warn, __VA_ARGS__)
+#define BC_ERROR(...) BC_LOG(::bc::LogLevel::Error, __VA_ARGS__)

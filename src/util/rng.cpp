@@ -1,0 +1,47 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace bc {
+
+double Rng::exponential(double mean) {
+  BC_ASSERT(mean > 0.0);
+  // uniform() is in [0,1); use 1-u in (0,1] so log() never sees zero.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal(double mu, double sigma) {
+  // Box-Muller transform. We intentionally regenerate both uniforms each
+  // call instead of caching the second variate: determinism across forks is
+  // worth more here than the factor-of-two saving.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mu + sigma * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  BC_ASSERT(xm > 0.0 && alpha > 0.0);
+  const double u = 1.0 - uniform();  // (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  BC_ASSERT(n > 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    target -= 1.0 / std::pow(static_cast<double>(i + 1), s);
+    if (target <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace bc

@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  BC_ASSERT(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  BC_ASSERT_MSG(cells.size() == header_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_bytes(long long bytes) {
+  const char* sign = bytes < 0 ? "-" : "";
+  const double b = std::abs(static_cast<double>(bytes));
+  char buf[64];
+  if (b >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.2f GiB", sign,
+                  b / (1024.0 * 1024.0 * 1024.0));
+  } else if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.2f MiB", sign, b / (1024.0 * 1024.0));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.2f KiB", sign, b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.0f B", sign, b);
+  }
+  return buf;
+}
+
+}  // namespace bc

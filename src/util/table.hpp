@@ -1,0 +1,40 @@
+// Small table formatter used by the bench binaries to print the rows/series
+// behind each figure of the paper, both human-readable and as CSV.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bc {
+
+/// Column-oriented table: set a header, append rows of cells, render.
+/// Numeric cells should be pre-formatted by the caller (see fmt helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Renders an aligned, pipe-separated human-readable table.
+  std::string to_string() const;
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote get quoted).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 3);
+/// Formats a byte count with a human unit suffix (e.g. "1.50 GiB").
+std::string fmt_bytes(long long bytes);
+
+}  // namespace bc

@@ -1,0 +1,48 @@
+#include "util/timeseries.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bc {
+
+TimeSeries::TimeSeries(Seconds start, Seconds bin_width, std::size_t num_bins)
+    : start_(start), width_(bin_width), bins_(num_bins) {
+  BC_ASSERT(bin_width > 0.0);
+  BC_ASSERT(num_bins > 0);
+}
+
+void TimeSeries::add(Seconds t, double value) {
+  double idx = (t - start_) / width_;
+  idx = std::clamp(idx, 0.0, static_cast<double>(bins_.size() - 1));
+  bins_[static_cast<std::size_t>(idx)].add(value);
+}
+
+Seconds TimeSeries::bin_center(std::size_t i) const {
+  BC_ASSERT(i < bins_.size());
+  return start_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double TimeSeries::bin_mean(std::size_t i) const {
+  BC_ASSERT(i < bins_.size());
+  return bins_[i].mean();
+}
+
+std::size_t TimeSeries::bin_count(std::size_t i) const {
+  BC_ASSERT(i < bins_.size());
+  return bins_[i].count();
+}
+
+const OnlineStats& TimeSeries::bin(std::size_t i) const {
+  BC_ASSERT(i < bins_.size());
+  return bins_[i];
+}
+
+std::vector<double> TimeSeries::means() const {
+  std::vector<double> out;
+  out.reserve(bins_.size());
+  for (const auto& b : bins_) out.push_back(b.mean());
+  return out;
+}
+
+}  // namespace bc

@@ -1,0 +1,42 @@
+// Binned time series used to record per-interval metrics (e.g. average
+// download speed per simulated hour, as plotted in Figures 1-3 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace bc {
+
+/// Accumulates (time, value) observations into fixed-width bins and exposes
+/// the per-bin mean. Observations outside [t0, t0 + bins*width) clamp to the
+/// first/last bin so late stragglers are never lost silently.
+class TimeSeries {
+ public:
+  TimeSeries(Seconds start, Seconds bin_width, std::size_t num_bins);
+
+  void add(Seconds t, double value);
+
+  std::size_t num_bins() const { return bins_.size(); }
+  Seconds bin_width() const { return width_; }
+  Seconds start() const { return start_; }
+  /// Center of bin i on the time axis (handy for plotting).
+  Seconds bin_center(std::size_t i) const;
+
+  /// Per-bin mean; 0.0 for empty bins (also see bin_count()).
+  double bin_mean(std::size_t i) const;
+  std::size_t bin_count(std::size_t i) const;
+  const OnlineStats& bin(std::size_t i) const;
+
+  /// All bin means in order, convenient for table printing.
+  std::vector<double> means() const;
+
+ private:
+  Seconds start_;
+  Seconds width_;
+  std::vector<OnlineStats> bins_;
+};
+
+}  // namespace bc

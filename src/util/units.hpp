@@ -1,0 +1,51 @@
+// Strong-ish unit helpers shared by every module.
+//
+// The simulator measures data in whole bytes (int64), time in seconds
+// (double, simulation time), and rates in bytes per second (double).
+// Helper constants and conversion functions keep magic numbers out of the
+// rest of the code base.
+#pragma once
+
+#include <cstdint>
+
+namespace bc {
+
+/// Aggregated data amount in bytes. Signed so that differences
+/// (upload - download) are representable directly.
+using Bytes = std::int64_t;
+
+/// Simulation time in seconds since the start of the run.
+using Seconds = double;
+
+/// Transfer rate in bytes per second.
+using Rate = double;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+inline constexpr Seconds kMinute = 60.0;
+inline constexpr Seconds kHour = 3600.0;
+inline constexpr Seconds kDay = 24.0 * kHour;
+inline constexpr Seconds kWeek = 7.0 * kDay;
+
+constexpr double to_kib(Bytes b) { return static_cast<double>(b) / 1024.0; }
+constexpr double to_mib(Bytes b) {
+  return static_cast<double>(b) / static_cast<double>(kMiB);
+}
+constexpr double to_gib(Bytes b) {
+  return static_cast<double>(b) / static_cast<double>(kGiB);
+}
+
+constexpr Bytes kib(double k) { return static_cast<Bytes>(k * 1024.0); }
+constexpr Bytes mib(double m) {
+  return static_cast<Bytes>(m * static_cast<double>(kMiB));
+}
+constexpr Bytes gib(double g) {
+  return static_cast<Bytes>(g * static_cast<double>(kGiB));
+}
+
+constexpr double days(Seconds s) { return s / kDay; }
+constexpr double hours(Seconds s) { return s / kHour; }
+
+}  // namespace bc

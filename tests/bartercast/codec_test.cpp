@@ -1,0 +1,151 @@
+#include "bartercast/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace bc::bartercast {
+namespace {
+
+BarterCastMessage sample_message() {
+  BarterCastMessage msg;
+  msg.sender = 42;
+  msg.sent_at = 1234.5;
+  msg.records.push_back({42, 7, 1000, 2000});
+  msg.records.push_back({42, 9, 0, 5});
+  return msg;
+}
+
+TEST(Codec, RoundTripsSample) {
+  const auto msg = sample_message();
+  const auto bytes = encode(msg);
+  EXPECT_EQ(bytes.size(), encoded_size(msg.records.size()));
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, msg.sender);
+  EXPECT_EQ(decoded->sent_at, msg.sent_at);
+  EXPECT_EQ(decoded->records, msg.records);
+}
+
+TEST(Codec, RoundTripsEmptyMessage) {
+  BarterCastMessage msg;
+  msg.sender = 1;
+  msg.sent_at = 0.0;
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->records.empty());
+}
+
+TEST(Codec, RejectsEmptyInput) {
+  EXPECT_FALSE(decode({}).has_value());
+}
+
+TEST(Codec, RejectsBadMagic) {
+  auto bytes = encode(sample_message());
+  bytes[0] = 0x00;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsBadVersion) {
+  auto bytes = encode(sample_message());
+  bytes[1] = 99;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsEveryTruncation) {
+  const auto bytes = encode(sample_message());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode(std::span(bytes.data(), len)).has_value())
+        << "truncated to " << len;
+  }
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  auto bytes = encode(sample_message());
+  bytes.push_back(0xFF);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsOversizedRecordCount) {
+  auto bytes = encode(sample_message());
+  // Patch the record count (offset 14) to an absurd value.
+  bytes[14] = 0xFF;
+  bytes[15] = 0xFF;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsAbsurdAmounts) {
+  auto bytes = encode(sample_message());
+  // First record's subject_to_other starts at offset 16 + 8 = 24.
+  for (std::size_t i = 24; i < 32; ++i) bytes[i] = 0xFF;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsNanTimestamp) {
+  BarterCastMessage msg = sample_message();
+  msg.sent_at = std::numeric_limits<double>::quiet_NaN();
+  const auto bytes = encode(msg);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RandomBytesNeverCrash) {
+  Rng rng(5);
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::uint8_t> junk(rng.index(200));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    (void)decode(junk);  // must not crash / UB; result irrelevant
+  }
+}
+
+TEST(Codec, BitFlipsNeverCrashAndOftenReject) {
+  Rng rng(6);
+  const auto original = encode(sample_message());
+  for (int round = 0; round < 500; ++round) {
+    auto bytes = original;
+    const std::size_t pos = rng.index(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.index(8));
+    const auto decoded = decode(bytes);
+    if (decoded.has_value()) {
+      // A surviving flip must still satisfy the structural bounds.
+      EXPECT_LE(decoded->records.size(), kMaxRecords);
+      for (const auto& r : decoded->records) {
+        EXPECT_GE(r.subject_to_other, 0);
+        EXPECT_GE(r.other_to_subject, 0);
+      }
+    }
+  }
+}
+
+TEST(Codec, RoundTripsRandomMessages) {
+  Rng rng(7);
+  for (int round = 0; round < 100; ++round) {
+    BarterCastMessage msg;
+    msg.sender = static_cast<PeerId>(rng.uniform_int(0, 1 << 30));
+    msg.sent_at = rng.uniform(0.0, 1e9);
+    const std::size_t n = rng.index(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      msg.records.push_back(
+          {static_cast<PeerId>(rng.uniform_int(0, 1 << 30)),
+           static_cast<PeerId>(rng.uniform_int(0, 1 << 30)),
+           rng.uniform_int(0, kGiB), rng.uniform_int(0, kGiB)});
+    }
+    const auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->sender, msg.sender);
+    EXPECT_EQ(decoded->records, msg.records);
+  }
+}
+
+TEST(CodecDeathTest, EncodeRejectsOversizedMessages) {
+  BarterCastMessage msg;
+  msg.sender = 1;
+  msg.records.resize(kMaxRecords + 1);
+  EXPECT_DEATH((void)encode(msg), "record cap");
+}
+
+}  // namespace
+}  // namespace bc::bartercast

@@ -1,0 +1,123 @@
+// Randomized property tests of the BarterCast data plane: arbitrary
+// interleavings of local transfers and honest/lying/garbage messages must
+// preserve the structural invariants the reputation engine depends on.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "bartercast/node.hpp"
+#include "util/rng.hpp"
+
+namespace bc::bartercast {
+namespace {
+
+class BarterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BarterFuzz, RandomMessageStreamPreservesInvariants) {
+  Rng rng(GetParam());
+  const PeerId owner = 0;
+  Node node(owner);
+  PrivateHistory ground_truth(owner);
+
+  // Track expected owner-incident edges: they must always equal the private
+  // history regardless of what gossip claims.
+  std::unordered_map<PeerId, Bytes> my_up, my_down;
+  std::uint64_t last_version = node.view().version();
+
+  for (int step = 0; step < 2000; ++step) {
+    const double dice = rng.uniform();
+    const Seconds now = static_cast<Seconds>(step);
+    if (dice < 0.2) {
+      // Local transfer.
+      const auto remote = static_cast<PeerId>(1 + rng.index(30));
+      const Bytes amount = rng.uniform_int(1, 10 * kMiB);
+      if (rng.chance(0.5)) {
+        node.on_bytes_sent(remote, amount, now);
+        my_up[remote] += amount;
+      } else {
+        node.on_bytes_received(remote, amount, now);
+        my_down[remote] += amount;
+      }
+    } else {
+      // A message from a random sender with random (possibly malicious)
+      // records: third-party claims, self reports, claims about the owner.
+      BarterCastMessage msg;
+      msg.sender = static_cast<PeerId>(1 + rng.index(30));
+      msg.sent_at = now;
+      const std::size_t records = rng.index(6);
+      for (std::size_t r = 0; r < records; ++r) {
+        BarterRecord rec;
+        rec.subject = rng.chance(0.7)
+                          ? msg.sender
+                          : static_cast<PeerId>(rng.index(32));
+        rec.other = static_cast<PeerId>(rng.index(32));
+        rec.subject_to_other = rng.uniform_int(0, kGiB);
+        rec.other_to_subject = rng.uniform_int(0, kGiB);
+        msg.records.push_back(rec);
+      }
+      node.receive_message(msg);
+    }
+
+    // Version must be monotone.
+    EXPECT_GE(node.view().version(), last_version);
+    last_version = node.view().version();
+  }
+
+  const auto& g = node.view().graph();
+  EXPECT_TRUE(g.check_invariants());
+
+  // Owner-incident edges mirror the private history exactly.
+  for (const auto& [remote, up] : my_up) {
+    EXPECT_EQ(g.capacity(owner, remote), up) << "edge owner->" << remote;
+  }
+  for (const auto& [remote, down] : my_down) {
+    EXPECT_EQ(g.capacity(remote, owner), down) << "edge " << remote
+                                               << "->owner";
+  }
+  for (PeerId p : g.nodes()) {
+    if (p == owner) continue;
+    if (!my_up.contains(p)) {
+      EXPECT_EQ(g.capacity(owner, p), 0);
+    }
+    if (!my_down.contains(p)) {
+      EXPECT_EQ(g.capacity(p, owner), 0);
+    }
+  }
+
+  // Reputations stay within [-1, 1] for every known node.
+  for (PeerId p : g.nodes()) {
+    const double r = node.reputation(p);
+    EXPECT_GE(r, -1.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST_P(BarterFuzz, RemoteEdgesMonotoneUnderHonestReplay) {
+  // Replaying messages from an honest (monotonically growing) sender never
+  // shrinks any edge in the receiver's subjective graph.
+  Rng rng(GetParam() ^ 0xbeefULL);
+  Node receiver(0);
+  PrivateHistory sender_history(5);
+  Bytes prev_total = 0;
+  for (int round = 0; round < 50; ++round) {
+    // Sender's history grows.
+    for (int i = 0; i < 5; ++i) {
+      const auto remote = static_cast<PeerId>(6 + rng.index(10));
+      sender_history.record_upload(remote, rng.uniform_int(1, kMiB),
+                                   static_cast<Seconds>(round));
+      sender_history.record_download(remote, rng.uniform_int(1, kMiB),
+                                     static_cast<Seconds>(round));
+    }
+    receiver.receive_message(
+        build_message(sender_history, {}, static_cast<Seconds>(round)));
+    const Bytes total = receiver.view().graph().total_capacity();
+    EXPECT_GE(total, prev_total);
+    prev_total = total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BarterFuzz,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL));
+
+}  // namespace
+}  // namespace bc::bartercast

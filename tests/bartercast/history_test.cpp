@@ -1,0 +1,99 @@
+#include "bartercast/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc::bartercast {
+namespace {
+
+TEST(PrivateHistory, StartsEmpty) {
+  PrivateHistory h(0);
+  EXPECT_EQ(h.owner(), 0u);
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.total_uploaded(), 0);
+  EXPECT_EQ(h.total_downloaded(), 0);
+  EXPECT_EQ(h.uploaded_to(5), 0);
+  EXPECT_EQ(h.downloaded_from(5), 0);
+  EXPECT_EQ(h.find(5), nullptr);
+}
+
+TEST(PrivateHistory, RecordsAccumulate) {
+  PrivateHistory h(0);
+  h.record_upload(1, 100, 1.0);
+  h.record_upload(1, 50, 2.0);
+  h.record_download(1, 30, 3.0);
+  EXPECT_EQ(h.uploaded_to(1), 150);
+  EXPECT_EQ(h.downloaded_from(1), 30);
+  EXPECT_EQ(h.total_uploaded(), 150);
+  EXPECT_EQ(h.total_downloaded(), 30);
+  EXPECT_EQ(h.size(), 1u);
+  ASSERT_NE(h.find(1), nullptr);
+  EXPECT_EQ(h.find(1)->last_seen, 3.0);
+}
+
+TEST(PrivateHistory, LastSeenNeverDecreases) {
+  PrivateHistory h(0);
+  h.record_upload(1, 10, 5.0);
+  h.record_upload(1, 10, 2.0);  // late-arriving record with older stamp
+  EXPECT_EQ(h.find(1)->last_seen, 5.0);
+}
+
+TEST(PrivateHistory, TouchCreatesEntryWithoutBytes) {
+  PrivateHistory h(0);
+  h.touch(3, 7.0);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.uploaded_to(3), 0);
+  EXPECT_EQ(h.find(3)->last_seen, 7.0);
+}
+
+TEST(PrivateHistory, TopUploadersRanksByDownloadedBytes) {
+  PrivateHistory h(0);
+  h.record_download(1, 100, 1.0);
+  h.record_download(2, 300, 1.0);
+  h.record_download(3, 200, 1.0);
+  h.record_upload(4, 999, 1.0);  // upload TO 4 is irrelevant for Nh
+  EXPECT_EQ(h.top_uploaders(2), (std::vector<PeerId>{2, 3}));
+  EXPECT_EQ(h.top_uploaders(10).size(), 4u);
+}
+
+TEST(PrivateHistory, TopUploadersTieBreaksByLowerId) {
+  PrivateHistory h(0);
+  h.record_download(9, 100, 1.0);
+  h.record_download(2, 100, 1.0);
+  EXPECT_EQ(h.top_uploaders(1), (std::vector<PeerId>{2}));
+}
+
+TEST(PrivateHistory, MostRecentRanksByLastSeen) {
+  PrivateHistory h(0);
+  h.record_upload(1, 10, 1.0);
+  h.record_upload(2, 10, 3.0);
+  h.touch(3, 2.0);
+  EXPECT_EQ(h.most_recent(2), (std::vector<PeerId>{2, 3}));
+}
+
+TEST(PrivateHistory, MostRecentTieBreaksByLowerId) {
+  PrivateHistory h(0);
+  h.touch(8, 1.0);
+  h.touch(4, 1.0);
+  EXPECT_EQ(h.most_recent(1), (std::vector<PeerId>{4}));
+}
+
+TEST(PrivateHistory, EntriesSnapshot) {
+  PrivateHistory h(0);
+  h.record_upload(1, 10, 1.0);
+  h.record_download(2, 20, 2.0);
+  const auto entries = h.entries();
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+TEST(PrivateHistoryDeathTest, OwnerEntryRejected) {
+  PrivateHistory h(7);
+  EXPECT_DEATH(h.record_upload(7, 10, 1.0), "owner");
+}
+
+TEST(PrivateHistoryDeathTest, NegativeAmountRejected) {
+  PrivateHistory h(0);
+  EXPECT_DEATH(h.record_upload(1, -10, 1.0), "amount");
+}
+
+}  // namespace
+}  // namespace bc::bartercast

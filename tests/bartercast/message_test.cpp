@@ -1,0 +1,109 @@
+#include "bartercast/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bc::bartercast {
+namespace {
+
+bool has_record_about(const BarterCastMessage& msg, PeerId other) {
+  return std::any_of(msg.records.begin(), msg.records.end(),
+                     [&](const BarterRecord& r) { return r.other == other; });
+}
+
+TEST(Message, EmptyHistoryGivesEmptyMessage) {
+  PrivateHistory h(0);
+  const auto msg = build_message(h, {}, 1.0);
+  EXPECT_EQ(msg.sender, 0u);
+  EXPECT_EQ(msg.sent_at, 1.0);
+  EXPECT_TRUE(msg.records.empty());
+}
+
+TEST(Message, RecordsCarryHistoryValues) {
+  PrivateHistory h(0);
+  h.record_upload(1, 100, 1.0);
+  h.record_download(1, 40, 1.0);
+  const auto msg = build_message(h, {}, 2.0);
+  ASSERT_EQ(msg.records.size(), 1u);
+  EXPECT_EQ(msg.records[0].subject, 0u);
+  EXPECT_EQ(msg.records[0].other, 1u);
+  EXPECT_EQ(msg.records[0].subject_to_other, 100);
+  EXPECT_EQ(msg.records[0].other_to_subject, 40);
+}
+
+TEST(Message, SelectsTopUploadersAndMostRecent) {
+  PrivateHistory h(0);
+  // Peers 1..5 upload decreasing amounts at time 1; peer 9 seen last.
+  for (PeerId p = 1; p <= 5; ++p) {
+    h.record_download(p, 600 - 100 * p, 1.0);
+  }
+  h.touch(9, 99.0);
+  MessageSelection sel;
+  sel.nh = 2;  // top uploaders: 1, 2
+  sel.nr = 1;  // most recent: 9
+  const auto msg = build_message(h, sel, 100.0);
+  EXPECT_EQ(msg.records.size(), 3u);
+  EXPECT_TRUE(has_record_about(msg, 1));
+  EXPECT_TRUE(has_record_about(msg, 2));
+  EXPECT_TRUE(has_record_about(msg, 9));
+  EXPECT_FALSE(has_record_about(msg, 5));
+}
+
+TEST(Message, OverlappingSelectionsDeduplicate) {
+  PrivateHistory h(0);
+  h.record_download(1, 100, 5.0);  // both top uploader and most recent
+  MessageSelection sel;
+  sel.nh = 5;
+  sel.nr = 5;
+  const auto msg = build_message(h, sel, 6.0);
+  EXPECT_EQ(msg.records.size(), 1u);
+}
+
+TEST(Message, SelectionCapsRespected) {
+  PrivateHistory h(0);
+  for (PeerId p = 1; p <= 30; ++p) {
+    h.record_download(p, 10 * p, static_cast<Seconds>(p));
+  }
+  MessageSelection sel;
+  sel.nh = 10;
+  sel.nr = 10;
+  const auto msg = build_message(h, sel, 31.0);
+  EXPECT_LE(msg.records.size(), 20u);
+  EXPECT_GE(msg.records.size(), 10u);
+}
+
+TEST(LyingMessage, ClaimsHugeUploadZeroDownload) {
+  PrivateHistory h(3);
+  h.record_download(1, 500, 1.0);
+  h.record_upload(1, 5, 1.0);
+  h.record_download(2, 300, 2.0);
+  const auto msg = build_lying_message(h, {}, 1'000'000, 3.0);
+  EXPECT_EQ(msg.sender, 3u);
+  ASSERT_EQ(msg.records.size(), 2u);
+  for (const auto& r : msg.records) {
+    EXPECT_EQ(r.subject, 3u);
+    EXPECT_EQ(r.subject_to_other, 1'000'000);
+    EXPECT_EQ(r.other_to_subject, 0);
+  }
+}
+
+TEST(LyingMessage, SameSelectionAsHonest) {
+  PrivateHistory h(0);
+  for (PeerId p = 1; p <= 8; ++p) {
+    h.record_download(p, 10 * p, static_cast<Seconds>(p));
+  }
+  MessageSelection sel;
+  sel.nh = 2;
+  sel.nr = 2;
+  const auto honest = build_message(h, sel, 9.0);
+  const auto lying = build_lying_message(h, sel, 1000, 9.0);
+  ASSERT_EQ(honest.records.size(), lying.records.size());
+  for (std::size_t i = 0; i < honest.records.size(); ++i) {
+    EXPECT_EQ(honest.records[i].other, lying.records[i].other);
+    EXPECT_EQ(lying.records[i].subject, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bc::bartercast

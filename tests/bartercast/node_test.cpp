@@ -1,0 +1,99 @@
+#include "bartercast/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc::bartercast {
+namespace {
+
+TEST(Node, TransfersUpdateHistoryAndView) {
+  Node n(0);
+  n.on_bytes_sent(1, 100, 1.0);
+  n.on_bytes_received(2, 200, 2.0);
+  EXPECT_EQ(n.history().uploaded_to(1), 100);
+  EXPECT_EQ(n.history().downloaded_from(2), 200);
+  EXPECT_EQ(n.view().graph().capacity(0, 1), 100);
+  EXPECT_EQ(n.view().graph().capacity(2, 0), 200);
+}
+
+TEST(Node, ReputationFromDirectExperience) {
+  Node n(0);
+  n.on_bytes_received(1, kGiB, 1.0);
+  n.on_bytes_sent(2, kGiB, 1.0);
+  EXPECT_GT(n.reputation(1), 0.0);
+  EXPECT_LT(n.reputation(2), 0.0);
+  EXPECT_EQ(n.reputation(3), 0.0);  // stranger is neutral
+}
+
+TEST(Node, MessageRoundTripBetweenNodes) {
+  Node a(0), b(1);
+  b.on_bytes_sent(2, 500 * kMiB, 1.0);   // b served peer 2
+  b.on_bytes_received(2, 100 * kMiB, 1.0);
+  a.on_bytes_received(1, kGiB, 2.0);     // a's direct anchor toward b
+
+  const auto stats = a.receive_message(b.make_message(3.0));
+  EXPECT_EQ(stats.applied, 1u);
+  // a now knows b->2 and 2->b, enabling a two-hop view of peer 2:
+  // flow(2 -> a) = min(2->b claims... none) -- 2 uploaded to b 100 MiB,
+  // b uploaded to a 1 GiB -> flow(2->a) = 100 MiB;
+  // flow(a -> 2) = 0 (a never uploaded). So reputation of 2 is positive.
+  EXPECT_GT(a.reputation(2), 0.0);
+}
+
+TEST(Node, LiarCannotInflateBeyondEvaluatorAnchor) {
+  // The §3.4 containment argument, end to end through the Node API.
+  NodeConfig cfg;
+  Node me(0, cfg);
+  Node liar(9, cfg);
+
+  // I received only 50 MiB from the intermediary 1.
+  me.on_bytes_received(1, 50 * kMiB, 1.0);
+
+  // The liar claims it uploaded terabytes to intermediary 1.
+  PrivateHistory fabricated(9);
+  fabricated.touch(1, 1.0);
+  const auto lie =
+      build_lying_message(fabricated, cfg.selection, 1000 * kGiB, 2.0);
+  me.receive_message(lie);
+
+  ReputationEngine engine(cfg.reputation);
+  const double max_possible = engine.scale(50 * kMiB);
+  EXPECT_LE(me.reputation(9), max_possible + 1e-12);
+  EXPECT_GT(me.reputation(9), 0.0);  // some credit flows, but capped
+}
+
+TEST(Node, OwnEdgesImmuneToRemoteLies) {
+  Node me(0);
+  Node liar(9);
+  // Liar claims it uploaded a lot directly to me; I know better.
+  PrivateHistory fabricated(9);
+  fabricated.touch(0, 1.0);
+  const auto lie = build_lying_message(fabricated, {}, 1000 * kGiB, 2.0);
+  const auto stats = me.receive_message(lie);
+  EXPECT_EQ(stats.dropped_own_edge, 1u);
+  EXPECT_EQ(me.reputation(9), 0.0);
+}
+
+TEST(Node, PeerSeenAffectsMessageSelection) {
+  NodeConfig cfg;
+  cfg.selection.nh = 0;
+  cfg.selection.nr = 1;
+  Node n(0, cfg);
+  n.on_bytes_sent(1, 10, 1.0);
+  n.on_peer_seen(2, 5.0);  // most recent
+  const auto msg = n.make_message(6.0);
+  ASSERT_EQ(msg.records.size(), 1u);
+  EXPECT_EQ(msg.records[0].other, 2u);
+}
+
+TEST(Node, ReputationReactsToNewInformation) {
+  Node n(0);
+  EXPECT_EQ(n.reputation(1), 0.0);
+  n.on_bytes_received(1, kGiB, 1.0);
+  const double r1 = n.reputation(1);
+  EXPECT_GT(r1, 0.0);
+  n.on_bytes_sent(1, 2 * kGiB, 2.0);
+  EXPECT_LT(n.reputation(1), r1);
+}
+
+}  // namespace
+}  // namespace bc::bartercast

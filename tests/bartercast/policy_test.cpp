@@ -1,0 +1,63 @@
+#include "bartercast/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc::bartercast {
+namespace {
+
+TEST(Policy, NoneAllowsEverything) {
+  const auto p = ReputationPolicy::none();
+  EXPECT_EQ(p.kind(), PolicyKind::kNone);
+  EXPECT_TRUE(p.allows_slot(-1.0));
+  EXPECT_TRUE(p.allows_slot(0.0));
+  EXPECT_TRUE(p.allows_slot(1.0));
+  EXPECT_FALSE(p.ranked_optimistic());
+}
+
+TEST(Policy, RankAllowsAllButRanksOptimistic) {
+  const auto p = ReputationPolicy::rank();
+  EXPECT_TRUE(p.allows_slot(-0.99));
+  EXPECT_TRUE(p.ranked_optimistic());
+}
+
+TEST(Policy, BanThresholdSemantics) {
+  const auto p = ReputationPolicy::ban(-0.5);
+  EXPECT_EQ(p.ban_threshold(), -0.5);
+  EXPECT_FALSE(p.allows_slot(-0.6));
+  EXPECT_FALSE(p.allows_slot(-0.51));
+  EXPECT_TRUE(p.allows_slot(-0.5));  // boundary: not below threshold
+  EXPECT_TRUE(p.allows_slot(0.0));   // newcomers are not banned
+  EXPECT_TRUE(p.allows_slot(0.9));
+  EXPECT_FALSE(p.ranked_optimistic());
+}
+
+TEST(Policy, RankBanCombinesBoth) {
+  const auto p = ReputationPolicy::rank_ban(-0.4);
+  EXPECT_EQ(p.kind(), PolicyKind::kRankBan);
+  EXPECT_TRUE(p.ranked_optimistic());
+  EXPECT_FALSE(p.allows_slot(-0.41));
+  EXPECT_TRUE(p.allows_slot(-0.4));
+  EXPECT_TRUE(p.allows_slot(0.0));
+  EXPECT_EQ(p.ban_threshold(), -0.4);
+}
+
+TEST(Policy, Names) {
+  EXPECT_EQ(ReputationPolicy::none().name(), "none");
+  EXPECT_EQ(ReputationPolicy::rank().name(), "rank");
+  EXPECT_EQ(ReputationPolicy::ban(-0.5).name(), "ban(-0.50)");
+  EXPECT_EQ(ReputationPolicy::rank_ban(-0.5).name(), "rank+ban(-0.50)");
+}
+
+TEST(Policy, Equality) {
+  EXPECT_EQ(ReputationPolicy::ban(-0.5), ReputationPolicy::ban(-0.5));
+  EXPECT_NE(ReputationPolicy::ban(-0.5), ReputationPolicy::ban(-0.3));
+  EXPECT_NE(ReputationPolicy::none(), ReputationPolicy::rank());
+}
+
+TEST(PolicyDeathTest, BanThresholdMustBeNegative) {
+  EXPECT_DEATH(ReputationPolicy::ban(0.5), "threshold");
+  EXPECT_DEATH(ReputationPolicy::ban(-1.5), "threshold");
+}
+
+}  // namespace
+}  // namespace bc::bartercast

@@ -1,0 +1,169 @@
+#include "bartercast/reputation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace bc::bartercast {
+namespace {
+
+ReputationConfig unit_config(Bytes unit) {
+  ReputationConfig cfg;
+  cfg.arctan_unit = unit;
+  return cfg;
+}
+
+TEST(Reputation, ZeroForUnknownPeers) {
+  graph::FlowGraph g;
+  ReputationEngine engine;
+  EXPECT_EQ(engine.reputation(g, 0, 1), 0.0);
+}
+
+TEST(Reputation, ZeroForSelf) {
+  graph::FlowGraph g;
+  g.add_capacity(0, 1, 100);
+  ReputationEngine engine;
+  EXPECT_EQ(engine.reputation(g, 0, 0), 0.0);
+}
+
+TEST(Reputation, PositiveForUploader) {
+  graph::FlowGraph g;
+  g.add_capacity(1, 0, kGiB);  // 1 uploaded 1 GiB to 0
+  ReputationEngine engine(unit_config(kGiB));
+  // arctan(1)/(pi/2) = 0.5 exactly.
+  EXPECT_NEAR(engine.reputation(g, 0, 1), 0.5, 1e-12);
+}
+
+TEST(Reputation, NegativeForDownloader) {
+  graph::FlowGraph g;
+  g.add_capacity(0, 1, kGiB);
+  ReputationEngine engine(unit_config(kGiB));
+  EXPECT_NEAR(engine.reputation(g, 0, 1), -0.5, 1e-12);
+}
+
+TEST(Reputation, AntisymmetricOnDirectEdges) {
+  graph::FlowGraph g;
+  g.add_capacity(0, 1, 700 * kMiB);
+  g.add_capacity(1, 0, 200 * kMiB);
+  ReputationEngine engine;
+  EXPECT_NEAR(engine.reputation(g, 0, 1), -engine.reputation(g, 1, 0),
+              1e-12);
+}
+
+TEST(Reputation, BoundedByOne) {
+  graph::FlowGraph g;
+  g.add_capacity(1, 0, 1'000'000 * kGiB);
+  ReputationEngine engine;
+  const double r = engine.reputation(g, 0, 1);
+  EXPECT_GT(r, 0.99);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(Reputation, ScaleUnitChangesSteepness) {
+  graph::FlowGraph g;
+  g.add_capacity(1, 0, 100 * kMiB);
+  ReputationEngine coarse(unit_config(kGiB));
+  ReputationEngine fine(unit_config(100 * kMiB));
+  EXPECT_LT(coarse.reputation(g, 0, 1), fine.reputation(g, 0, 1));
+}
+
+TEST(Reputation, ArctanDiminishingReturns) {
+  // The 0 -> 100 MB step must matter more than 1000 -> 1100 MB (§3.3).
+  ReputationEngine engine(unit_config(kGiB));
+  const double step1 = engine.scale(100 * kMiB) - engine.scale(0);
+  const double step2 =
+      engine.scale(1100 * kMiB) - engine.scale(1000 * kMiB);
+  EXPECT_GT(step1, step2 * 2);
+}
+
+TEST(Reputation, UsesIndirectPaths) {
+  graph::FlowGraph g;
+  g.add_capacity(2, 1, 500 * kMiB);  // subject -> intermediary
+  g.add_capacity(1, 0, 300 * kMiB);  // intermediary -> evaluator
+  ReputationEngine engine;
+  // flow(2 -> 0) = min(500, 300) = 300 MiB; no reverse flow.
+  EXPECT_GT(engine.reputation(g, 0, 2), 0.0);
+  EXPECT_EQ(engine.flow(g, 2, 0), 300 * kMiB);
+}
+
+TEST(Reputation, TwoHopModeIgnoresThreeHopPaths) {
+  graph::FlowGraph g;
+  g.add_capacity(3, 2, kGiB);
+  g.add_capacity(2, 1, kGiB);
+  g.add_capacity(1, 0, kGiB);
+  ReputationEngine two_hop;  // default mode
+  EXPECT_EQ(two_hop.reputation(g, 0, 3), 0.0);
+
+  ReputationConfig cfg;
+  cfg.mode = MaxflowMode::kFullFordFulkerson;
+  ReputationEngine full(cfg);
+  EXPECT_GT(full.reputation(g, 0, 3), 0.0);
+}
+
+TEST(Reputation, ModesAgreeOnTwoHopGraphs) {
+  Rng rng(77);
+  graph::FlowGraph g;
+  // Star around evaluator 0: only 1- and 2-hop paths exist.
+  for (PeerId mid = 1; mid <= 6; ++mid) {
+    g.add_capacity(mid, 0, rng.uniform_int(1, kGiB));
+    g.add_capacity(0, mid, rng.uniform_int(1, kGiB));
+    for (PeerId far = 10; far <= 14; ++far) {
+      g.add_capacity(far, mid, rng.uniform_int(1, kGiB));
+      g.add_capacity(mid, far, rng.uniform_int(1, kGiB));
+    }
+  }
+  ReputationConfig bounded;
+  bounded.mode = MaxflowMode::kBoundedFordFulkerson;
+  bounded.max_path_edges = 2;
+  ReputationEngine closed_form;
+  ReputationEngine bounded_ff(bounded);
+  for (PeerId far = 10; far <= 14; ++far) {
+    EXPECT_NEAR(closed_form.reputation(g, 0, far),
+                bounded_ff.reputation(g, 0, far), 1e-12)
+        << "subject " << far;
+  }
+}
+
+TEST(Reputation, ContainmentUnderInflatedClaims) {
+  // However much flow the rest of the graph claims toward the
+  // intermediary, the evaluator's own incoming edge caps the result.
+  graph::FlowGraph g;
+  g.add_capacity(1, 0, 100 * kMiB);  // my direct experience with 1
+  g.add_capacity(9, 1, 100000 * kGiB);  // 9's (possibly fake) service to 1
+  ReputationEngine engine;
+  EXPECT_LE(engine.flow(g, 9, 0), 100 * kMiB);
+  const double r9 = engine.reputation(g, 0, 9);
+  const double r1_cap = engine.scale(100 * kMiB);
+  EXPECT_LE(r9, r1_cap + 1e-12);
+}
+
+TEST(CachedReputation, CachesUntilVersionChanges) {
+  SharedHistory view(0);
+  view.record_local_download(1, 500 * kMiB);
+  CachedReputation cache(view, ReputationEngine{});
+  const double r1 = cache.reputation(1);
+  const double r2 = cache.reputation(1);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  view.record_local_download(1, 500 * kMiB);  // version bump
+  const double r3 = cache.reputation(1);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_GT(r3, r1);  // more service received -> higher reputation
+}
+
+TEST(CachedReputation, DistinctSubjectsCachedIndependently) {
+  SharedHistory view(0);
+  view.record_local_download(1, kGiB);
+  view.record_local_upload(2, kGiB);
+  CachedReputation cache(view, ReputationEngine{});
+  EXPECT_GT(cache.reputation(1), 0.0);
+  EXPECT_LT(cache.reputation(2), 0.0);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+}  // namespace
+}  // namespace bc::bartercast

@@ -1,0 +1,132 @@
+#include "bartercast/shared_history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc::bartercast {
+namespace {
+
+BarterCastMessage message_from(PeerId sender,
+                               std::vector<BarterRecord> records) {
+  BarterCastMessage msg;
+  msg.sender = sender;
+  msg.sent_at = 1.0;
+  msg.records = std::move(records);
+  return msg;
+}
+
+TEST(SharedHistory, LocalTransfersCreateOwnerEdges) {
+  SharedHistory sh(0);
+  sh.record_local_upload(1, 100);
+  sh.record_local_download(2, 50);
+  EXPECT_EQ(sh.graph().capacity(0, 1), 100);
+  EXPECT_EQ(sh.graph().capacity(2, 0), 50);
+  EXPECT_EQ(sh.graph().num_edges(), 2u);
+}
+
+TEST(SharedHistory, LocalTransfersAccumulate) {
+  SharedHistory sh(0);
+  sh.record_local_upload(1, 100);
+  sh.record_local_upload(1, 100);
+  EXPECT_EQ(sh.graph().capacity(0, 1), 200);
+}
+
+TEST(SharedHistory, ZeroLocalTransferDoesNothing) {
+  SharedHistory sh(0);
+  const auto v = sh.version();
+  sh.record_local_upload(1, 0);
+  EXPECT_EQ(sh.version(), v);
+  EXPECT_EQ(sh.graph().num_edges(), 0u);
+}
+
+TEST(SharedHistory, AppliesSenderRecords) {
+  SharedHistory sh(0);
+  const auto msg =
+      message_from(5, {{5, 6, 100, 40}});
+  const auto stats = sh.apply_message(msg);
+  EXPECT_EQ(stats.applied, 1u);
+  EXPECT_EQ(sh.graph().capacity(5, 6), 100);
+  EXPECT_EQ(sh.graph().capacity(6, 5), 40);
+}
+
+TEST(SharedHistory, DropsThirdPartyRecords) {
+  SharedHistory sh(0);
+  // Sender 5 reports about a (6, 7) pair it is not part of.
+  const auto msg = message_from(5, {{6, 7, 100, 40}});
+  const auto stats = sh.apply_message(msg);
+  EXPECT_EQ(stats.applied, 0u);
+  EXPECT_EQ(stats.dropped_third_party, 1u);
+  EXPECT_EQ(sh.graph().capacity(6, 7), 0);
+}
+
+TEST(SharedHistory, AcceptsRecordWhereSenderIsOther) {
+  SharedHistory sh(0);
+  // 6 reports the record as (subject=5, other=6): still involves sender 6.
+  const auto msg = message_from(6, {{5, 6, 80, 20}});
+  const auto stats = sh.apply_message(msg);
+  EXPECT_EQ(stats.applied, 1u);
+  EXPECT_EQ(sh.graph().capacity(5, 6), 80);
+}
+
+TEST(SharedHistory, DropsSelfReports) {
+  SharedHistory sh(0);
+  const auto msg = message_from(5, {{5, 5, 100, 40}});
+  const auto stats = sh.apply_message(msg);
+  EXPECT_EQ(stats.dropped_self_report, 1u);
+  EXPECT_EQ(stats.applied, 0u);
+}
+
+TEST(SharedHistory, OwnerEdgesProtectedFromGossip) {
+  // §3.4: the owner's incident edges come only from its private history.
+  SharedHistory sh(0);
+  sh.record_local_upload(5, 10);
+  const auto msg = message_from(5, {{5, 0, 1'000'000, 0}});
+  const auto stats = sh.apply_message(msg);
+  EXPECT_EQ(stats.dropped_own_edge, 1u);
+  EXPECT_EQ(stats.applied, 0u);
+  EXPECT_EQ(sh.graph().capacity(5, 0), 0);   // the claim was ignored
+  EXPECT_EQ(sh.graph().capacity(0, 5), 10);  // private history intact
+}
+
+TEST(SharedHistory, RemoteClaimsMergeWithMax) {
+  SharedHistory sh(0);
+  sh.apply_message(message_from(5, {{5, 6, 100, 0}}));
+  // An older/smaller claim must not shrink the edge.
+  sh.apply_message(message_from(5, {{5, 6, 60, 0}}));
+  EXPECT_EQ(sh.graph().capacity(5, 6), 100);
+  // A newer/larger claim grows it.
+  sh.apply_message(message_from(5, {{5, 6, 150, 0}}));
+  EXPECT_EQ(sh.graph().capacity(5, 6), 150);
+}
+
+TEST(SharedHistory, BothDirectionsOfRecordApplied) {
+  SharedHistory sh(0);
+  sh.apply_message(message_from(5, {{5, 6, 0, 70}}));
+  EXPECT_EQ(sh.graph().capacity(5, 6), 0);
+  EXPECT_EQ(sh.graph().capacity(6, 5), 70);
+}
+
+TEST(SharedHistory, VersionBumpsOnChangeOnly) {
+  SharedHistory sh(0);
+  const auto v0 = sh.version();
+  sh.apply_message(message_from(5, {{5, 6, 100, 0}}));
+  const auto v1 = sh.version();
+  EXPECT_GT(v1, v0);
+  // Re-applying the identical message changes nothing.
+  sh.apply_message(message_from(5, {{5, 6, 100, 0}}));
+  EXPECT_EQ(sh.version(), v1);
+}
+
+TEST(SharedHistory, HonestReplayIsIdempotent) {
+  SharedHistory sh(0);
+  const auto msg = message_from(5, {{5, 6, 100, 40}, {5, 7, 10, 20}});
+  sh.apply_message(msg);
+  const auto edges_before = sh.graph().num_edges();
+  const auto cap_before = sh.graph().total_capacity();
+  sh.apply_message(msg);
+  sh.apply_message(msg);
+  EXPECT_EQ(sh.graph().num_edges(), edges_before);
+  EXPECT_EQ(sh.graph().total_capacity(), cap_before);
+}
+
+}  // namespace
+}  // namespace bc::bartercast

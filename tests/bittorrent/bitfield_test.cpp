@@ -1,0 +1,79 @@
+#include "bittorrent/bitfield.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc::bt {
+namespace {
+
+TEST(Bitfield, EmptyStart) {
+  Bitfield b(10);
+  EXPECT_EQ(b.size(), 10);
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.complete());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(b.get(i));
+}
+
+TEST(Bitfield, FilledStart) {
+  Bitfield b(10, /*filled=*/true);
+  EXPECT_EQ(b.count(), 10);
+  EXPECT_TRUE(b.complete());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(b.get(i));
+}
+
+TEST(Bitfield, SetReturnsFreshness) {
+  Bitfield b(5);
+  EXPECT_TRUE(b.set(2));
+  EXPECT_FALSE(b.set(2));
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_TRUE(b.get(2));
+  EXPECT_FALSE(b.get(1));
+}
+
+TEST(Bitfield, CompleteAfterAllSet) {
+  Bitfield b(3);
+  b.set(0);
+  b.set(1);
+  EXPECT_FALSE(b.complete());
+  b.set(2);
+  EXPECT_TRUE(b.complete());
+}
+
+TEST(Bitfield, WordBoundarySizes) {
+  for (int n : {1, 63, 64, 65, 128, 129}) {
+    Bitfield b(n, /*filled=*/true);
+    EXPECT_EQ(b.count(), n) << "n=" << n;
+    EXPECT_TRUE(b.complete()) << "n=" << n;
+    Bitfield e(n);
+    e.set(n - 1);
+    EXPECT_EQ(e.count(), 1) << "n=" << n;
+    EXPECT_TRUE(e.get(n - 1)) << "n=" << n;
+  }
+}
+
+TEST(Bitfield, InterestingDetection) {
+  Bitfield mine(4), theirs(4);
+  EXPECT_FALSE(mine.is_interesting(theirs));  // both empty
+  theirs.set(2);
+  EXPECT_TRUE(mine.is_interesting(theirs));
+  mine.set(2);
+  EXPECT_FALSE(mine.is_interesting(theirs));  // nothing new
+  mine.set(3);
+  EXPECT_FALSE(mine.is_interesting(theirs));  // we are ahead
+}
+
+TEST(Bitfield, SeedNotInterestedInAnyone) {
+  Bitfield seed(8, true), leecher(8);
+  leecher.set(1);
+  EXPECT_FALSE(seed.is_interesting(leecher));
+  EXPECT_TRUE(leecher.is_interesting(seed));
+}
+
+TEST(BitfieldDeathTest, OutOfRange) {
+  Bitfield b(4);
+  EXPECT_DEATH(b.get(4), "piece");
+  EXPECT_DEATH(b.set(-1), "piece");
+}
+
+}  // namespace
+}  // namespace bc::bt

@@ -1,0 +1,80 @@
+#include "community/behavior.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bc::community {
+namespace {
+
+std::size_t count(const std::vector<Behavior>& v, Behavior b) {
+  return static_cast<std::size_t>(std::count(v.begin(), v.end(), b));
+}
+
+TEST(Behavior, Predicates) {
+  EXPECT_FALSE(is_freerider(Behavior::kSharer));
+  EXPECT_TRUE(is_freerider(Behavior::kLazyFreerider));
+  EXPECT_TRUE(is_freerider(Behavior::kIgnoringFreerider));
+  EXPECT_TRUE(is_freerider(Behavior::kLyingFreerider));
+
+  EXPECT_TRUE(sends_messages(Behavior::kSharer));
+  EXPECT_TRUE(sends_messages(Behavior::kLazyFreerider));
+  EXPECT_FALSE(sends_messages(Behavior::kIgnoringFreerider));
+  EXPECT_TRUE(sends_messages(Behavior::kLyingFreerider));
+
+  EXPECT_FALSE(lies(Behavior::kSharer));
+  EXPECT_TRUE(lies(Behavior::kLyingFreerider));
+}
+
+TEST(Behavior, Names) {
+  EXPECT_EQ(behavior_name(Behavior::kSharer), "sharer");
+  EXPECT_EQ(behavior_name(Behavior::kLyingFreerider), "lying-freerider");
+}
+
+TEST(AssignBehaviors, ExactCounts) {
+  Rng rng(1);
+  const auto v = assign_behaviors(100, 0.5, 0.1, 0.2, rng);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(count(v, Behavior::kSharer), 50u);
+  EXPECT_EQ(count(v, Behavior::kIgnoringFreerider), 10u);
+  EXPECT_EQ(count(v, Behavior::kLyingFreerider), 20u);
+  EXPECT_EQ(count(v, Behavior::kLazyFreerider), 20u);
+}
+
+TEST(AssignBehaviors, AllSharers) {
+  Rng rng(2);
+  const auto v = assign_behaviors(10, 0.0, 0.0, 0.0, rng);
+  EXPECT_EQ(count(v, Behavior::kSharer), 10u);
+}
+
+TEST(AssignBehaviors, AllFreeriders) {
+  Rng rng(3);
+  const auto v = assign_behaviors(10, 1.0, 0.0, 0.0, rng);
+  EXPECT_EQ(count(v, Behavior::kLazyFreerider), 10u);
+}
+
+TEST(AssignBehaviors, DeterministicInRng) {
+  Rng a(9), b(9);
+  EXPECT_EQ(assign_behaviors(50, 0.5, 0.1, 0.1, a),
+            assign_behaviors(50, 0.5, 0.1, 0.1, b));
+}
+
+TEST(AssignBehaviors, AssignmentIsShuffled) {
+  Rng rng(4);
+  const auto v = assign_behaviors(100, 0.5, 0.0, 0.0, rng);
+  // The first 50 peers must not all be freeriders (random placement).
+  std::size_t first_half_freeriders = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (is_freerider(v[i])) ++first_half_freeriders;
+  }
+  EXPECT_GT(first_half_freeriders, 10u);
+  EXPECT_LT(first_half_freeriders, 40u);
+}
+
+TEST(AssignBehaviorsDeathTest, DisobeyersExceedFreeriders) {
+  Rng rng(5);
+  EXPECT_DEATH(assign_behaviors(100, 0.3, 0.2, 0.2, rng), "freerider");
+}
+
+}  // namespace
+}  // namespace bc::community

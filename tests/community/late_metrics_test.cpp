@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "community/metrics.hpp"
+
+namespace bc::community {
+namespace {
+
+PeerOutcome outcome(Behavior b, Bytes late_bytes, Seconds late_time) {
+  PeerOutcome o;
+  o.behavior = b;
+  o.late_downloaded = late_bytes;
+  o.late_time_downloading = late_time;
+  return o;
+}
+
+TEST(LateClassSpeed, PoolsAcrossClassMembers) {
+  Metrics m(kDay, kHour);
+  m.outcomes.push_back(outcome(Behavior::kSharer, 1000, 10.0));
+  m.outcomes.push_back(outcome(Behavior::kSharer, 3000, 10.0));
+  m.outcomes.push_back(outcome(Behavior::kLazyFreerider, 500, 5.0));
+  // Pooled: (1000+3000)/(10+10) = 200; freeriders: 500/5 = 100.
+  EXPECT_DOUBLE_EQ(m.late_class_speed(false), 200.0);
+  EXPECT_DOUBLE_EQ(m.late_class_speed(true), 100.0);
+}
+
+TEST(LateClassSpeed, AllFreeriderKindsCount) {
+  Metrics m(kDay, kHour);
+  m.outcomes.push_back(outcome(Behavior::kLazyFreerider, 100, 1.0));
+  m.outcomes.push_back(outcome(Behavior::kIgnoringFreerider, 200, 1.0));
+  m.outcomes.push_back(outcome(Behavior::kLyingFreerider, 300, 1.0));
+  EXPECT_DOUBLE_EQ(m.late_class_speed(true), 200.0);
+  EXPECT_DOUBLE_EQ(m.late_class_speed(false), 0.0);
+}
+
+TEST(LateClassSpeed, EmptyClassIsZero) {
+  Metrics m(kDay, kHour);
+  EXPECT_DOUBLE_EQ(m.late_class_speed(true), 0.0);
+  EXPECT_DOUBLE_EQ(m.late_class_speed(false), 0.0);
+}
+
+TEST(LateClassSpeed, ZeroTimePeersIgnoredInDenominator) {
+  Metrics m(kDay, kHour);
+  m.outcomes.push_back(outcome(Behavior::kSharer, 0, 0.0));
+  m.outcomes.push_back(outcome(Behavior::kSharer, 100, 1.0));
+  EXPECT_DOUBLE_EQ(m.late_class_speed(false), 100.0);
+}
+
+}  // namespace
+}  // namespace bc::community

@@ -1,0 +1,82 @@
+// Cross-module integration: node state captured from a full community run
+// survives a save/load round trip with identical reputations — i.e. a
+// client that persists its BarterCast database across restarts resumes with
+// exactly the same view of the world.
+#include <gtest/gtest.h>
+
+#include "bartercast/persistence.hpp"
+#include "community/simulator.hpp"
+#include "trace/generator.hpp"
+
+namespace bc::community {
+namespace {
+
+TEST(PersistenceIntegration, SimulatedNodesRoundTrip) {
+  trace::GeneratorConfig tcfg;
+  tcfg.seed = 21;
+  tcfg.num_peers = 18;
+  tcfg.num_swarms = 3;
+  tcfg.duration = 12.0 * kHour;
+  tcfg.file_size_min = mib(20);
+  tcfg.file_size_max = mib(80);
+
+  ScenarioConfig cfg;
+  cfg.seed = 21;
+  CommunitySimulator sim(trace::generate(tcfg), cfg);
+  sim.run();
+
+  for (PeerId p = 0; p < sim.num_trace_peers(); ++p) {
+    const auto& original = sim.node(p);
+    const std::string state = bartercast::save_node_to_string(original);
+    std::string error;
+    const auto loaded =
+        bartercast::load_node_from_string(state, cfg.node, &error);
+    ASSERT_NE(loaded, nullptr) << "peer " << p << ": " << error;
+
+    // Identical private history totals.
+    EXPECT_EQ(loaded->history().total_uploaded(),
+              original.history().total_uploaded());
+    EXPECT_EQ(loaded->history().total_downloaded(),
+              original.history().total_downloaded());
+    // Identical subjective graph.
+    EXPECT_EQ(loaded->view().graph().num_edges(),
+              original.view().graph().num_edges());
+    EXPECT_EQ(loaded->view().graph().total_capacity(),
+              original.view().graph().total_capacity());
+    // Identical reputations for every known peer.
+    bartercast::ReputationEngine engine(cfg.node.reputation);
+    for (PeerId subject = 0; subject < sim.num_trace_peers(); ++subject) {
+      if (subject == p) continue;
+      EXPECT_DOUBLE_EQ(
+          engine.reputation(loaded->view().graph(), p, subject),
+          engine.reputation(original.view().graph(), p, subject))
+          << "evaluator " << p << " subject " << subject;
+    }
+  }
+}
+
+TEST(PersistenceIntegration, StateFilesAreDeterministic) {
+  // Two identical runs produce byte-identical state files.
+  trace::GeneratorConfig tcfg;
+  tcfg.seed = 23;
+  tcfg.num_peers = 12;
+  tcfg.num_swarms = 2;
+  tcfg.duration = 6.0 * kHour;
+  tcfg.file_size_min = mib(20);
+  tcfg.file_size_max = mib(50);
+  ScenarioConfig cfg;
+  cfg.seed = 23;
+
+  CommunitySimulator a(trace::generate(tcfg), cfg);
+  CommunitySimulator b(trace::generate(tcfg), cfg);
+  a.run();
+  b.run();
+  for (PeerId p = 0; p < a.num_trace_peers(); ++p) {
+    EXPECT_EQ(bartercast::save_node_to_string(a.node(p)),
+              bartercast::save_node_to_string(b.node(p)))
+        << "peer " << p;
+  }
+}
+
+}  // namespace
+}  // namespace bc::community

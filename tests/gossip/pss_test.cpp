@@ -1,0 +1,163 @@
+#include "gossip/pss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bc::gossip {
+namespace {
+
+const PeerSamplingService::CanTalk kAlwaysTalk = [](PeerId, PeerId) {
+  return true;
+};
+const PeerSamplingService::CanTalk kNeverTalk = [](PeerId, PeerId) {
+  return false;
+};
+
+PeerSamplingService make_pss(std::size_t view_size = 8,
+                             std::size_t exchange = 4) {
+  PeerSamplingService::Config cfg;
+  cfg.seed = 11;
+  cfg.view_size = view_size;
+  cfg.exchange_size = exchange;
+  return PeerSamplingService(cfg);
+}
+
+TEST(Pss, RegisterAndBootstrap) {
+  auto pss = make_pss();
+  pss.register_peer(1);
+  EXPECT_TRUE(pss.is_registered(1));
+  EXPECT_EQ(pss.view_size(1), 0u);
+  const std::vector<PeerId> seeds{2, 3, 4};
+  pss.register_peer(2);
+  pss.register_peer(3);
+  pss.register_peer(4);
+  pss.bootstrap(1, seeds);
+  EXPECT_EQ(pss.view_size(1), 3u);
+}
+
+TEST(Pss, ViewNeverContainsSelf) {
+  auto pss = make_pss();
+  pss.register_peer(1);
+  const std::vector<PeerId> seeds{1, 1, 2};
+  pss.register_peer(2);
+  pss.bootstrap(1, seeds);
+  const auto view = pss.view(1);
+  EXPECT_EQ(std::count(view.begin(), view.end(), 1u), 0);
+}
+
+TEST(Pss, ViewDeduplicates) {
+  auto pss = make_pss();
+  pss.register_peer(1);
+  pss.register_peer(2);
+  const std::vector<PeerId> seeds{2, 2, 2};
+  pss.bootstrap(1, seeds);
+  EXPECT_EQ(pss.view_size(1), 1u);
+}
+
+TEST(Pss, ViewBounded) {
+  auto pss = make_pss(/*view_size=*/4);
+  pss.register_peer(0);
+  std::vector<PeerId> seeds;
+  for (PeerId p = 1; p <= 20; ++p) {
+    pss.register_peer(p);
+    seeds.push_back(p);
+  }
+  pss.bootstrap(0, seeds);
+  EXPECT_EQ(pss.view_size(0), 4u);
+}
+
+TEST(Pss, ExchangeReturnsPartnerAndSpreadsEntries) {
+  auto pss = make_pss();
+  for (PeerId p = 0; p < 6; ++p) pss.register_peer(p);
+  const std::vector<PeerId> a_seeds{1};
+  const std::vector<PeerId> b_seeds{2, 3, 4, 5};
+  pss.bootstrap(0, a_seeds);
+  pss.bootstrap(1, b_seeds);
+  const PeerId partner = pss.exchange(0, kAlwaysTalk);
+  EXPECT_EQ(partner, 1u);
+  // 0 must have learned something from 1's view.
+  EXPECT_GT(pss.view_size(0), 1u);
+  // 1 must now know 0.
+  const auto v1 = pss.view(1);
+  EXPECT_NE(std::find(v1.begin(), v1.end(), 0u), v1.end());
+}
+
+TEST(Pss, ExchangeWithEmptyViewFails) {
+  auto pss = make_pss();
+  pss.register_peer(0);
+  EXPECT_EQ(pss.exchange(0, kAlwaysTalk), kInvalidPeer);
+}
+
+TEST(Pss, ExchangeRespectsCanTalk) {
+  auto pss = make_pss();
+  pss.register_peer(0);
+  pss.register_peer(1);
+  const std::vector<PeerId> seeds{1};
+  pss.bootstrap(0, seeds);
+  EXPECT_EQ(pss.exchange(0, kNeverTalk), kInvalidPeer);
+  EXPECT_EQ(pss.exchange(0, kAlwaysTalk), 1u);
+}
+
+TEST(Pss, ExchangeGarbageCollectsUnregisteredEntries) {
+  auto pss = make_pss();
+  pss.register_peer(0);
+  // 99 was never registered (e.g. a stale entry).
+  pss.register_peer(1);
+  const std::vector<PeerId> seeds{99, 1};
+  pss.bootstrap(0, seeds);
+  EXPECT_EQ(pss.view_size(0), 2u);
+  (void)pss.exchange(0, kAlwaysTalk);
+  const auto view = pss.view(0);
+  EXPECT_EQ(std::count(view.begin(), view.end(), 99u), 0);
+}
+
+TEST(Pss, SampleFiltersAndBounds) {
+  auto pss = make_pss();
+  pss.register_peer(0);
+  std::vector<PeerId> seeds;
+  for (PeerId p = 1; p <= 6; ++p) {
+    pss.register_peer(p);
+    seeds.push_back(p);
+  }
+  pss.bootstrap(0, seeds);
+  const auto odd_only = [](PeerId, PeerId candidate) {
+    return candidate % 2 == 1;
+  };
+  const auto sample = pss.sample(0, 10, odd_only);
+  EXPECT_LE(sample.size(), 3u);
+  for (PeerId p : sample) EXPECT_EQ(p % 2, 1u);
+  const auto two = pss.sample(0, 2, kAlwaysTalk);
+  EXPECT_EQ(two.size(), 2u);
+}
+
+TEST(Pss, EpidemicSpreadsKnowledge) {
+  // A line bootstrap (each peer knows only its successor) must become a
+  // well-mixed set of views after enough random exchanges.
+  auto pss = make_pss(/*view_size=*/10, /*exchange=*/5);
+  const PeerId n = 20;
+  for (PeerId p = 0; p < n; ++p) pss.register_peer(p);
+  for (PeerId p = 0; p < n; ++p) {
+    const std::vector<PeerId> seed{static_cast<PeerId>((p + 1) % n)};
+    pss.bootstrap(p, seed);
+  }
+  for (int round = 0; round < 30; ++round) {
+    for (PeerId p = 0; p < n; ++p) (void)pss.exchange(p, kAlwaysTalk);
+  }
+  double avg = 0.0;
+  for (PeerId p = 0; p < n; ++p) {
+    avg += static_cast<double>(pss.view_size(p));
+  }
+  avg /= n;
+  EXPECT_GT(avg, 7.0);  // views filled up by the epidemic
+}
+
+TEST(PssDeathTest, DoubleRegistration) {
+  auto pss = make_pss();
+  pss.register_peer(1);
+  EXPECT_DEATH(pss.register_peer(1), "twice");
+}
+
+}  // namespace
+}  // namespace bc::gossip

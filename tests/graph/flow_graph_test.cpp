@@ -1,0 +1,136 @@
+#include "graph/flow_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bc::graph {
+namespace {
+
+TEST(FlowGraph, StartsEmpty) {
+  FlowGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.capacity(1, 2), 0);
+  EXPECT_FALSE(g.has_node(1));
+}
+
+TEST(FlowGraph, AddCapacityAccumulates) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 100);
+  g.add_capacity(1, 2, 50);
+  EXPECT_EQ(g.capacity(1, 2), 150);
+  EXPECT_EQ(g.capacity(2, 1), 0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(FlowGraph, ZeroAddCreatesNodesNotEdges) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 0);
+  EXPECT_TRUE(g.has_node(1));
+  EXPECT_TRUE(g.has_node(2));
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(FlowGraph, SetCapacityReplaces) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 100);
+  g.set_capacity(1, 2, 30);
+  EXPECT_EQ(g.capacity(1, 2), 30);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(FlowGraph, SetCapacityZeroRemovesEdge) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 100);
+  g.set_capacity(1, 2, 0);
+  EXPECT_EQ(g.capacity(1, 2), 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.in_edges(2).empty());
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(FlowGraph, SetCapacityCreatesEdge) {
+  FlowGraph g;
+  g.set_capacity(3, 4, 77);
+  EXPECT_EQ(g.capacity(3, 4), 77);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(FlowGraph, OutAndInEdgesMirror) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 10);
+  g.add_capacity(3, 2, 20);
+  g.add_capacity(1, 4, 30);
+  EXPECT_EQ(g.out_edges(1).size(), 2u);
+  EXPECT_EQ(g.in_edges(2).size(), 2u);
+  EXPECT_TRUE(g.in_edges(2).contains(1));
+  EXPECT_TRUE(g.in_edges(2).contains(3));
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(FlowGraph, UnknownNodeAccessorsAreEmpty) {
+  FlowGraph g;
+  EXPECT_TRUE(g.out_edges(9).empty());
+  EXPECT_TRUE(g.in_edges(9).empty());
+}
+
+TEST(FlowGraph, NodesListsAll) {
+  FlowGraph g;
+  g.add_capacity(5, 7, 1);
+  g.add_capacity(7, 9, 1);
+  auto nodes = g.nodes();
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<PeerId>{5, 7, 9}));
+}
+
+TEST(FlowGraph, TotalCapacity) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 10);
+  g.add_capacity(2, 3, 20);
+  EXPECT_EQ(g.total_capacity(), 30);
+}
+
+TEST(FlowGraph, RemoveNodeDropsIncidentEdges) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 10);
+  g.add_capacity(2, 3, 20);
+  g.add_capacity(3, 1, 30);
+  g.remove_node(2);
+  EXPECT_FALSE(g.has_node(2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.capacity(3, 1), 30);
+  EXPECT_EQ(g.capacity(1, 2), 0);
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(FlowGraph, RemoveUnknownNodeIsNoop) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 10);
+  g.remove_node(99);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(FlowGraph, ClearResets) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 10);
+  g.clear();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(FlowGraphDeathTest, SelfEdgeRejected) {
+  FlowGraph g;
+  EXPECT_DEATH(g.add_capacity(1, 1, 10), "self-edges");
+}
+
+TEST(FlowGraphDeathTest, NegativeCapacityRejected) {
+  FlowGraph g;
+  EXPECT_DEATH(g.add_capacity(1, 2, -5), "amount");
+}
+
+}  // namespace
+}  // namespace bc::graph

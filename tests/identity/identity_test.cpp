@@ -1,0 +1,85 @@
+#include "identity/identity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bc::identity {
+namespace {
+
+TEST(IdentityManager, RegisterIssuesDistinctIdentities) {
+  IdentityManager ids(IdentityScheme::kPermanent);
+  const PeerId a = ids.register_user(1);
+  const PeerId b = ids.register_user(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ids.current_identity(1), a);
+  EXPECT_EQ(ids.current_identity(2), b);
+  EXPECT_EQ(ids.num_users(), 2u);
+  EXPECT_EQ(ids.num_identities_issued(), 2u);
+}
+
+TEST(IdentityManager, OwnerLookup) {
+  IdentityManager ids(IdentityScheme::kCheap);
+  const PeerId a = ids.register_user(7);
+  EXPECT_EQ(ids.owner_of(a), 7u);
+  EXPECT_FALSE(ids.owner_of(a + 100).has_value());
+  EXPECT_TRUE(ids.is_active(a));
+}
+
+TEST(IdentityManager, WhitewashMintsFreshIdentity) {
+  IdentityManager ids(IdentityScheme::kCheap);
+  const PeerId first = ids.register_user(1);
+  const PeerId second = ids.whitewash(1);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(ids.current_identity(1), second);
+  EXPECT_EQ(ids.identity_count(1), 2u);
+  // The retired identity still maps back to the user (forensics), but is
+  // no longer active.
+  EXPECT_EQ(ids.owner_of(first), 1u);
+  EXPECT_FALSE(ids.is_active(first));
+  EXPECT_TRUE(ids.is_active(second));
+}
+
+TEST(IdentityManager, RepeatedWashing) {
+  IdentityManager ids(IdentityScheme::kCheap);
+  ids.register_user(1);
+  for (int i = 0; i < 10; ++i) ids.whitewash(1);
+  EXPECT_EQ(ids.identity_count(1), 11u);
+  EXPECT_EQ(ids.num_identities_issued(), 11u);
+  EXPECT_EQ(ids.num_users(), 1u);
+}
+
+TEST(IdentityManager, IdentitiesNeverReused) {
+  IdentityManager ids(IdentityScheme::kCheap);
+  ids.register_user(1);
+  ids.register_user(2);
+  std::set<PeerId> seen;
+  seen.insert(ids.current_identity(1));
+  seen.insert(ids.current_identity(2));
+  for (int i = 0; i < 5; ++i) {
+    seen.insert(ids.whitewash(1));
+    seen.insert(ids.whitewash(2));
+  }
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(IdentityManagerDeathTest, PermanentSchemeForbidsWashing) {
+  IdentityManager ids(IdentityScheme::kPermanent);
+  ids.register_user(1);
+  EXPECT_DEATH(ids.whitewash(1), "cheap");
+}
+
+TEST(IdentityManagerDeathTest, UnknownUser) {
+  IdentityManager ids(IdentityScheme::kCheap);
+  EXPECT_DEATH(ids.current_identity(9), "unknown");
+  EXPECT_DEATH(ids.whitewash(9), "unknown");
+}
+
+TEST(IdentityManagerDeathTest, DoubleRegistration) {
+  IdentityManager ids(IdentityScheme::kCheap);
+  ids.register_user(1);
+  EXPECT_DEATH(ids.register_user(1), "twice");
+}
+
+}  // namespace
+}  // namespace bc::identity

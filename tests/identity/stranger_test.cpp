@@ -1,0 +1,103 @@
+#include "identity/stranger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc::identity {
+namespace {
+
+using bartercast::ReputationEngine;
+
+TEST(AdaptiveEstimator, StartsAtInitial) {
+  AdaptiveStrangerEstimator e(0.5, -0.2);
+  EXPECT_DOUBLE_EQ(e.value(), -0.2);
+  EXPECT_EQ(e.observations(), 0u);
+}
+
+TEST(AdaptiveEstimator, ConvergesTowardObservations) {
+  AdaptiveStrangerEstimator e(0.3, 0.0);
+  for (int i = 0; i < 100; ++i) e.observe(-0.8);
+  EXPECT_NEAR(e.value(), -0.8, 1e-6);
+  EXPECT_EQ(e.observations(), 100u);
+}
+
+TEST(AdaptiveEstimator, EwmaWeighting) {
+  AdaptiveStrangerEstimator e(0.5, 0.0);
+  e.observe(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.5);
+  e.observe(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25);
+}
+
+TEST(StrangerPolicy, IsStrangerSemantics) {
+  graph::FlowGraph g;
+  ReputationEngine engine;
+  // Nobody known at all: everyone is a stranger.
+  EXPECT_TRUE(StrangerPolicy::is_stranger(engine, g, 0, 1));
+  // Self is never a stranger.
+  EXPECT_FALSE(StrangerPolicy::is_stranger(engine, g, 0, 0));
+  // Direct flow in either direction ends strangerhood.
+  g.add_capacity(1, 0, 100);
+  EXPECT_FALSE(StrangerPolicy::is_stranger(engine, g, 0, 1));
+  g.add_capacity(0, 2, 100);
+  EXPECT_FALSE(StrangerPolicy::is_stranger(engine, g, 0, 2));
+  // A disconnected third party stays a stranger.
+  g.add_capacity(5, 6, 100);
+  EXPECT_TRUE(StrangerPolicy::is_stranger(engine, g, 0, 5));
+}
+
+TEST(StrangerPolicy, TwoHopKnowledgeEndsStrangerhood) {
+  graph::FlowGraph g;
+  g.add_capacity(2, 1, 100);
+  g.add_capacity(1, 0, 100);
+  ReputationEngine engine;
+  EXPECT_FALSE(StrangerPolicy::is_stranger(engine, g, 0, 2));
+}
+
+TEST(StrangerPolicy, NeutralGivesZeroToStrangers) {
+  graph::FlowGraph g;
+  ReputationEngine engine;
+  AdaptiveStrangerEstimator est(0.1, -0.9);
+  const auto policy = StrangerPolicy::neutral();
+  EXPECT_DOUBLE_EQ(
+      policy.effective_reputation(engine, g, 0, 1, est), 0.0);
+}
+
+TEST(StrangerPolicy, FixedPenaltyApplied) {
+  graph::FlowGraph g;
+  ReputationEngine engine;
+  AdaptiveStrangerEstimator est;
+  const auto policy = StrangerPolicy::fixed(-0.4);
+  EXPECT_DOUBLE_EQ(policy.effective_reputation(engine, g, 0, 1, est), -0.4);
+  EXPECT_DOUBLE_EQ(policy.fixed_penalty(), -0.4);
+}
+
+TEST(StrangerPolicy, AdaptiveUsesEstimator) {
+  graph::FlowGraph g;
+  ReputationEngine engine;
+  AdaptiveStrangerEstimator est(0.5, 0.0);
+  est.observe(-0.6);
+  const auto policy = StrangerPolicy::adaptive();
+  EXPECT_DOUBLE_EQ(policy.effective_reputation(engine, g, 0, 1, est), -0.3);
+}
+
+TEST(StrangerPolicy, KnownPeersGetRealReputation) {
+  graph::FlowGraph g;
+  g.add_capacity(1, 0, kGiB);
+  ReputationEngine engine;
+  AdaptiveStrangerEstimator est(0.1, -0.9);
+  // All three policies agree on a known peer.
+  for (const auto& policy :
+       {StrangerPolicy::neutral(), StrangerPolicy::fixed(-0.8),
+        StrangerPolicy::adaptive()}) {
+    EXPECT_DOUBLE_EQ(policy.effective_reputation(engine, g, 0, 1, est),
+                     engine.reputation(g, 0, 1));
+  }
+}
+
+TEST(StrangerPolicyDeathTest, PenaltyRange) {
+  EXPECT_DEATH((void)StrangerPolicy::fixed(0.5), "penalty");
+  EXPECT_DEATH((void)StrangerPolicy::fixed(-1.5), "penalty");
+}
+
+}  // namespace
+}  // namespace bc::identity

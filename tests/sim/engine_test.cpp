@@ -1,0 +1,162 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bc::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.events_processed(), 0u);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, TiesRunInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5.0, [&] { order.push_back(1); });
+  e.schedule_at(5.0, [&] { order.push_back(2); });
+  e.schedule_at(5.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ScheduleAfterUsesDelay) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(10.0, [&] {
+    e.schedule_after(5.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
+TEST(Engine, CancelIsIdempotent) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  e.cancel(id);
+  e.cancel(id);
+  e.run();
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) e.schedule_after(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 4.0);
+}
+
+TEST(Engine, PeriodicFiresRepeatedly) {
+  Engine e;
+  int count = 0;
+  e.schedule_periodic(10.0, 10.0, [&] { ++count; });
+  e.run_until(45.0);
+  EXPECT_EQ(count, 4);  // t = 10, 20, 30, 40
+  EXPECT_EQ(e.now(), 45.0);
+}
+
+TEST(Engine, PeriodicCancelStops) {
+  Engine e;
+  int count = 0;
+  EventId id = e.schedule_periodic(1.0, 1.0, [&] { ++count; });
+  e.schedule_at(3.5, [&] { e.cancel(id); });
+  e.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, PeriodicCanCancelItself) {
+  Engine e;
+  int count = 0;
+  EventId id = 0;
+  id = e.schedule_periodic(1.0, 1.0, [&] {
+    ++count;
+    if (count == 2) e.cancel(id);
+  });
+  e.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  Engine e;
+  std::vector<double> fired;
+  e.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  e.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  e.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(e.now(), 2.0);
+  e.run_until(5.0);
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWithoutEvents) {
+  Engine e;
+  e.run_until(100.0);
+  EXPECT_EQ(e.now(), 100.0);
+}
+
+TEST(Engine, PendingEventsCount) {
+  Engine e;
+  e.schedule_at(1.0, [] {});
+  const EventId id = e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending_events(), 2u);
+  e.cancel(id);
+  EXPECT_EQ(e.pending_events(), 1u);
+}
+
+TEST(EngineDeathTest, PastSchedulingRejected) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_DEATH(e.schedule_at(1.0, [] {}), "past");
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine e;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 999; i >= 0; --i) {
+    e.schedule_at(static_cast<double>(i % 100), [&, i] {
+      if (e.now() < last) monotone = false;
+      last = e.now();
+      (void)i;
+    });
+  }
+  e.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(e.events_processed(), 1000u);
+}
+
+}  // namespace
+}  // namespace bc::sim

@@ -1,0 +1,105 @@
+#include "trace/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bc::trace {
+namespace {
+
+DeploymentConfig small(std::uint64_t seed) {
+  DeploymentConfig cfg;
+  cfg.seed = seed;
+  cfg.num_peers = 500;
+  return cfg;
+}
+
+TEST(Deployment, SizesMatchConfig) {
+  const auto pop = generate_deployment(small(1));
+  EXPECT_EQ(pop.num_peers, 500u);
+  EXPECT_EQ(pop.total_up.size(), 500u);
+  EXPECT_EQ(pop.total_down.size(), 500u);
+}
+
+TEST(Deployment, Deterministic) {
+  const auto a = generate_deployment(small(3));
+  const auto b = generate_deployment(small(3));
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.total_up, b.total_up);
+  EXPECT_EQ(a.total_down, b.total_down);
+}
+
+TEST(Deployment, EdgesAreValidAndAggregated) {
+  const auto pop = generate_deployment(small(2));
+  std::set<std::pair<PeerId, PeerId>> seen;
+  for (const auto& e : pop.transfers) {
+    EXPECT_LT(e.from, pop.num_peers);
+    EXPECT_LT(e.to, pop.num_peers);
+    EXPECT_NE(e.from, e.to);
+    EXPECT_GT(e.amount, 0);
+    EXPECT_TRUE(seen.insert({e.from, e.to}).second) << "duplicate edge";
+  }
+}
+
+TEST(Deployment, TotalsCoverInternalTransfers) {
+  // Internal edge amounts must be contained in the per-peer totals (totals
+  // additionally include external/non-observed traffic).
+  const auto pop = generate_deployment(small(4));
+  std::vector<Bytes> up(pop.num_peers, 0), down(pop.num_peers, 0);
+  for (const auto& e : pop.transfers) {
+    up[e.from] += e.amount;
+    down[e.to] += e.amount;
+  }
+  for (PeerId i = 0; i < pop.num_peers; ++i) {
+    EXPECT_GE(pop.total_up[i], up[i]) << "peer " << i;
+    EXPECT_GE(pop.total_down[i], down[i]) << "peer " << i;
+  }
+}
+
+TEST(Deployment, HasIdlePeers) {
+  const auto pop = generate_deployment(small(5));
+  std::size_t idle = 0;
+  for (PeerId i = 0; i < pop.num_peers; ++i) {
+    if (pop.total_up[i] == 0 && pop.total_down[i] == 0) ++idle;
+  }
+  // idle_fraction = 0.5 by default; allow slack.
+  EXPECT_GT(idle, pop.num_peers / 4);
+  EXPECT_LT(idle, 3 * pop.num_peers / 4);
+}
+
+TEST(Deployment, MoreNetDownloadersThanUploaders) {
+  const auto pop = generate_deployment(small(6));
+  std::size_t net_down = 0, net_up = 0;
+  for (PeerId i = 0; i < pop.num_peers; ++i) {
+    const Bytes net = pop.total_up[i] - pop.total_down[i];
+    if (net < 0) ++net_down;
+    if (net > 0) ++net_up;
+  }
+  EXPECT_GT(net_down, net_up);  // the paper's Figure 4(a) shape
+}
+
+TEST(Deployment, GlobalUploadDoesNotEqualGlobalDownload) {
+  // External traffic breaks the closed-system identity, as in Tribler.
+  const auto pop = generate_deployment(small(7));
+  Bytes up = 0, down = 0;
+  for (PeerId i = 0; i < pop.num_peers; ++i) {
+    up += pop.total_up[i];
+    down += pop.total_down[i];
+  }
+  EXPECT_NE(up, down);
+}
+
+TEST(Deployment, ZeroIdleFraction) {
+  DeploymentConfig cfg = small(8);
+  cfg.idle_fraction = 0.0;
+  const auto pop = generate_deployment(cfg);
+  std::size_t active = 0;
+  for (PeerId i = 0; i < pop.num_peers; ++i) {
+    if (pop.total_up[i] + pop.total_down[i] > 0) ++active;
+  }
+  EXPECT_GT(active, 9 * pop.num_peers / 10);
+}
+
+}  // namespace
+}  // namespace bc::trace

@@ -1,0 +1,147 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bc::trace {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.num_peers = 25;
+  cfg.num_swarms = 5;
+  cfg.duration = kDay;
+  return cfg;
+}
+
+TEST(Generator, ProducesValidTrace) {
+  const Trace t = generate(small_config(1));
+  EXPECT_EQ(t.validate(), "");
+  EXPECT_EQ(t.peers.size(), 25u);
+  EXPECT_EQ(t.files.size(), 5u);
+  EXPECT_GT(t.requests.size(), 0u);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const Trace a = generate(small_config(7));
+  const Trace b = generate(small_config(7));
+  EXPECT_EQ(a.files, b.files);
+  EXPECT_EQ(a.peers, b.peers);
+  EXPECT_EQ(a.requests, b.requests);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Trace a = generate(small_config(1));
+  const Trace b = generate(small_config(2));
+  EXPECT_NE(a.requests, b.requests);
+}
+
+TEST(Generator, FileSizesWithinBounds) {
+  GeneratorConfig cfg = small_config(3);
+  cfg.file_size_min = mib(10);
+  cfg.file_size_max = mib(100);
+  const Trace t = generate(cfg);
+  for (const auto& f : t.files) {
+    EXPECT_GE(f.size, mib(10) - f.piece_size);  // rounding slack
+    EXPECT_LE(f.size, mib(100) + f.piece_size);
+    EXPECT_EQ(f.size % f.piece_size, 0);  // whole pieces
+  }
+}
+
+TEST(Generator, AtLeastOneConnectablePeer) {
+  GeneratorConfig cfg = small_config(4);
+  cfg.connectable_fraction = 0.0;
+  const Trace t = generate(cfg);
+  bool any = false;
+  for (const auto& p : t.peers) any |= p.connectable;
+  EXPECT_TRUE(any);
+}
+
+TEST(Generator, ConnectableFractionApproximatelyRespected) {
+  GeneratorConfig cfg = small_config(5);
+  cfg.num_peers = 400;
+  cfg.connectable_fraction = 0.6;
+  const Trace t = generate(cfg);
+  int connectable = 0;
+  for (const auto& p : t.peers) connectable += p.connectable ? 1 : 0;
+  EXPECT_NEAR(connectable / 400.0, 0.6, 0.1);
+}
+
+TEST(Generator, RequestsInsideTrace) {
+  GeneratorConfig cfg = small_config(6);
+  const Trace t = generate(cfg);
+  for (const auto& r : t.requests) {
+    EXPECT_GE(r.at, 0.0);
+    EXPECT_LE(r.at, cfg.duration * 0.98);
+  }
+}
+
+TEST(Generator, RequestsFlashCrowdAfterRelease) {
+  // With a short decay, each swarm's requests cluster tightly; the spread
+  // of request times within one swarm must be far below the trace length.
+  GeneratorConfig cfg = small_config(7);
+  cfg.num_peers = 200;
+  cfg.request_decay = kHour;
+  const Trace t = generate(cfg);
+  std::vector<Seconds> lo(cfg.num_swarms, 1e18), hi(cfg.num_swarms, -1.0);
+  for (const auto& r : t.requests) {
+    lo[r.swarm] = std::min(lo[r.swarm], r.at);
+    hi[r.swarm] = std::max(hi[r.swarm], r.at);
+  }
+  int tight = 0;
+  for (std::size_t s = 0; s < cfg.num_swarms; ++s) {
+    if (hi[s] >= 0.0 && hi[s] - lo[s] < cfg.duration / 2.0) ++tight;
+  }
+  EXPECT_GE(tight, static_cast<int>(cfg.num_swarms) - 1);
+}
+
+TEST(Generator, RequestsPerPeerWithinBounds) {
+  GeneratorConfig cfg = small_config(8);
+  cfg.requests_per_peer_min = 2;
+  cfg.requests_per_peer_max = 3;
+  const Trace t = generate(cfg);
+  std::vector<int> counts(cfg.num_peers, 0);
+  for (const auto& r : t.requests) ++counts[r.peer];
+  for (int c : counts) {
+    EXPECT_LE(c, 3);
+    // The Zipf draw can collide, so a peer may end below the minimum, but
+    // never at zero since min >= 1 always yields at least one pick.
+    EXPECT_GE(c, 1);
+  }
+}
+
+TEST(Generator, EveryPeerHasSessions) {
+  const Trace t = generate(small_config(9));
+  for (const auto& p : t.peers) {
+    EXPECT_FALSE(p.sessions.empty()) << "peer " << p.id;
+    EXPECT_GT(p.total_uptime(), 0.0);
+  }
+}
+
+TEST(Generator, PopularityIsSkewed) {
+  GeneratorConfig cfg = small_config(10);
+  cfg.num_peers = 300;
+  cfg.num_swarms = 10;
+  cfg.popularity_skew = 1.2;
+  const Trace t = generate(cfg);
+  std::vector<int> per_swarm(cfg.num_swarms, 0);
+  for (const auto& r : t.requests) ++per_swarm[r.swarm];
+  // Swarm 0 (rank 1) should attract clearly more requests than swarm 9.
+  EXPECT_GT(per_swarm[0], per_swarm[9]);
+}
+
+// Validity must hold across many seeds (the benches sweep seeds).
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, AlwaysValid) {
+  GeneratorConfig cfg = small_config(GetParam());
+  EXPECT_EQ(generate(cfg).validate(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace bc::trace

@@ -1,0 +1,98 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc {
+namespace {
+
+const std::map<std::string, std::string> kAllowed = {
+    {"count", "a number"},
+    {"name", "a string"},
+    {"rate", "a double"},
+    {"verbose", "a bool"},
+};
+
+std::optional<Flags> parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::parse(static_cast<int>(args.size()), args.data(), kAllowed);
+}
+
+TEST(Flags, EmptyArgs) {
+  auto f = parse({});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FALSE(f->has("count"));
+  EXPECT_EQ(f->get_int("count", 7), 7);
+  EXPECT_TRUE(f->valid());
+}
+
+TEST(Flags, EqualsForm) {
+  auto f = parse({"--count=5", "--name=alice"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get_int("count", 0), 5);
+  EXPECT_EQ(f->get("name", ""), "alice");
+}
+
+TEST(Flags, SpaceForm) {
+  auto f = parse({"--count", "5", "--rate", "2.5"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get_int("count", 0), 5);
+  EXPECT_DOUBLE_EQ(f->get_double("rate", 0.0), 2.5);
+}
+
+TEST(Flags, BareBoolean) {
+  auto f = parse({"--verbose"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->get_bool("verbose", false));
+}
+
+TEST(Flags, BooleanSpellings) {
+  for (const char* v : {"true", "1", "yes"}) {
+    auto f = parse({"--verbose", v});
+    ASSERT_TRUE(f.has_value());
+    EXPECT_TRUE(f->get_bool("verbose", false)) << v;
+  }
+  auto f = parse({"--verbose", "no"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FALSE(f->get_bool("verbose", true));
+}
+
+TEST(Flags, NegativeNumberAsValue) {
+  auto f = parse({"--rate", "-0.5"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->get_double("rate", 0.0), -0.5);
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  EXPECT_FALSE(parse({"--bogus", "1"}).has_value());
+}
+
+TEST(Flags, Positional) {
+  auto f = parse({"input.csv", "--count=1", "more"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->positional(),
+            (std::vector<std::string>{"input.csv", "more"}));
+}
+
+TEST(Flags, BadIntMarksInvalid) {
+  auto f = parse({"--count", "abc"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get_int("count", 9), 9);
+  EXPECT_FALSE(f->valid());
+}
+
+TEST(Flags, BadDoubleMarksInvalid) {
+  auto f = parse({"--rate", "fast"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->get_double("rate", 1.5), 1.5);
+  EXPECT_FALSE(f->valid());
+}
+
+TEST(Flags, UsageMentionsEveryFlag) {
+  const std::string u = Flags::usage("prog", kAllowed);
+  for (const auto& [name, _] : kAllowed) {
+    EXPECT_NE(u.find("--" + name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bc

@@ -1,0 +1,93 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bc {
+namespace {
+
+TEST(Histogram, CountsIntoBins) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(2.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, Density) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.density(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.density(2), 0.0);
+}
+
+TEST(Histogram, EmptyDensityIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.0);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Cdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(Cdf, SingleValue) {
+  const std::vector<double> xs{3.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 1.0);
+}
+
+TEST(Cdf, CollapsesDuplicates) {
+  const std::vector<double> xs{1.0, 2.0, 2.0, 3.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Cdf, MonotoneNonDecreasing) {
+  const std::vector<double> xs{5.0, -1.0, 3.0, 3.0, 0.0, 5.0, 2.0};
+  const auto cdf = empirical_cdf(xs);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(CdfAt, StepSemantics) {
+  const std::vector<double> xs{1.0, 2.0};
+  const auto cdf = empirical_cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 1.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 99.0), 1.0);
+}
+
+}  // namespace
+}  // namespace bc

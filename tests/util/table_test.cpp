@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "long_header"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a | long_header |"), std::string::npos);
+  EXPECT_NE(s.find("| 1 | 2           |"), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  EXPECT_EQ(t.to_csv(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-1.0, 0), "-1");
+}
+
+TEST(FmtBytes, Units) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(fmt_bytes(3 * 1024 * 1024), "3.00 MiB");
+  EXPECT_EQ(fmt_bytes(1536LL * 1024 * 1024), "1.50 GiB");
+}
+
+TEST(FmtBytes, Negative) {
+  EXPECT_EQ(fmt_bytes(-2048), "-2.00 KiB");
+  EXPECT_EQ(fmt_bytes(0), "0 B");
+}
+
+}  // namespace
+}  // namespace bc

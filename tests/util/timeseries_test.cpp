@@ -1,0 +1,62 @@
+#include "util/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc {
+namespace {
+
+TEST(TimeSeries, BinsObservationsByTime) {
+  TimeSeries ts(0.0, 10.0, 3);
+  ts.add(1.0, 2.0);
+  ts.add(5.0, 4.0);
+  ts.add(15.0, 6.0);
+  EXPECT_EQ(ts.bin_count(0), 2u);
+  EXPECT_DOUBLE_EQ(ts.bin_mean(0), 3.0);
+  EXPECT_EQ(ts.bin_count(1), 1u);
+  EXPECT_DOUBLE_EQ(ts.bin_mean(1), 6.0);
+  EXPECT_EQ(ts.bin_count(2), 0u);
+  EXPECT_DOUBLE_EQ(ts.bin_mean(2), 0.0);
+}
+
+TEST(TimeSeries, ClampsOutOfRange) {
+  TimeSeries ts(10.0, 5.0, 2);
+  ts.add(0.0, 1.0);    // before start -> first bin
+  ts.add(100.0, 3.0);  // after end -> last bin
+  EXPECT_EQ(ts.bin_count(0), 1u);
+  EXPECT_EQ(ts.bin_count(1), 1u);
+}
+
+TEST(TimeSeries, BinCenters) {
+  TimeSeries ts(100.0, 10.0, 2);
+  EXPECT_DOUBLE_EQ(ts.bin_center(0), 105.0);
+  EXPECT_DOUBLE_EQ(ts.bin_center(1), 115.0);
+}
+
+TEST(TimeSeries, BoundaryGoesToUpperBin) {
+  TimeSeries ts(0.0, 10.0, 2);
+  ts.add(10.0, 1.0);
+  EXPECT_EQ(ts.bin_count(0), 0u);
+  EXPECT_EQ(ts.bin_count(1), 1u);
+}
+
+TEST(TimeSeries, MeansVector) {
+  TimeSeries ts(0.0, 1.0, 3);
+  ts.add(0.5, 2.0);
+  ts.add(2.5, 8.0);
+  const auto m = ts.means();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 0.0);
+  EXPECT_DOUBLE_EQ(m[2], 8.0);
+}
+
+TEST(TimeSeries, NonZeroStart) {
+  TimeSeries ts(50.0, 25.0, 4);
+  ts.add(60.0, 1.0);
+  ts.add(149.0, 2.0);
+  EXPECT_EQ(ts.bin_count(0), 1u);
+  EXPECT_EQ(ts.bin_count(3), 1u);
+}
+
+}  // namespace
+}  // namespace bc

@@ -1,0 +1,52 @@
+#include "util/units.hpp"
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bc {
+namespace {
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024);
+  EXPECT_EQ(kMiB, 1024 * 1024);
+  EXPECT_EQ(kGiB, 1024LL * 1024 * 1024);
+}
+
+TEST(Units, RoundTripConversions) {
+  EXPECT_DOUBLE_EQ(to_mib(mib(3.5)), 3.5);
+  EXPECT_DOUBLE_EQ(to_gib(gib(2.0)), 2.0);
+  EXPECT_DOUBLE_EQ(to_kib(kib(7.0)), 7.0);
+}
+
+TEST(Units, NegativeBytes) {
+  EXPECT_DOUBLE_EQ(to_gib(-kGiB), -1.0);
+}
+
+TEST(Units, TimeConstants) {
+  EXPECT_DOUBLE_EQ(kMinute, 60.0);
+  EXPECT_DOUBLE_EQ(kHour, 3600.0);
+  EXPECT_DOUBLE_EQ(kDay, 86400.0);
+  EXPECT_DOUBLE_EQ(kWeek, 7.0 * 86400.0);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(days(kWeek), 7.0);
+  EXPECT_DOUBLE_EQ(hours(kDay), 24.0);
+}
+
+TEST(Ids, PeerPairCanonicalizes) {
+  const PeerPair a(3, 9);
+  const PeerPair b(9, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.lo, 3u);
+  EXPECT_EQ(a.hi, 9u);
+  EXPECT_EQ(PeerPairHash{}(a), PeerPairHash{}(b));
+}
+
+TEST(Ids, InvalidSentinels) {
+  EXPECT_GT(kInvalidPeer, 1'000'000'000u);
+  EXPECT_GT(kInvalidSwarm, 1'000'000'000u);
+}
+
+}  // namespace
+}  // namespace bc
