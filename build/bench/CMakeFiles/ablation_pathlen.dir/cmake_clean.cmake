@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pathlen.dir/ablation_pathlen.cpp.o"
+  "CMakeFiles/ablation_pathlen.dir/ablation_pathlen.cpp.o.d"
+  "ablation_pathlen"
+  "ablation_pathlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pathlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

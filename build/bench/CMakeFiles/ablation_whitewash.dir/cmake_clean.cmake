@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_whitewash.dir/ablation_whitewash.cpp.o"
+  "CMakeFiles/ablation_whitewash.dir/ablation_whitewash.cpp.o.d"
+  "ablation_whitewash"
+  "ablation_whitewash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_whitewash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_reputation.dir/fig1_reputation.cpp.o"
+  "CMakeFiles/fig1_reputation.dir/fig1_reputation.cpp.o.d"
+  "fig1_reputation"
+  "fig1_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_policies.dir/fig2_policies.cpp.o"
+  "CMakeFiles/fig2_policies.dir/fig2_policies.cpp.o.d"
+  "fig2_policies"
+  "fig2_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_disobey.dir/fig3_disobey.cpp.o"
+  "CMakeFiles/fig3_disobey.dir/fig3_disobey.cpp.o.d"
+  "fig3_disobey"
+  "fig3_disobey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_disobey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

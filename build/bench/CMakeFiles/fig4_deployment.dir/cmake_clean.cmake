@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_deployment.dir/fig4_deployment.cpp.o"
+  "CMakeFiles/fig4_deployment.dir/fig4_deployment.cpp.o.d"
+  "fig4_deployment"
+  "fig4_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bartercast.dir/micro_bartercast.cpp.o"
+  "CMakeFiles/micro_bartercast.dir/micro_bartercast.cpp.o.d"
+  "micro_bartercast"
+  "micro_bartercast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bartercast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

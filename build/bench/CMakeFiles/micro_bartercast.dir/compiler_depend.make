@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_bartercast.
+# This may be replaced when dependencies are built.

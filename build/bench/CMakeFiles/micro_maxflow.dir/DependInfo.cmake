@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_maxflow.cpp" "bench/CMakeFiles/micro_maxflow.dir/micro_maxflow.cpp.o" "gcc" "bench/CMakeFiles/micro_maxflow.dir/micro_maxflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bartercast/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_maxflow.dir/micro_maxflow.cpp.o"
+  "CMakeFiles/micro_maxflow.dir/micro_maxflow.cpp.o.d"
+  "micro_maxflow"
+  "micro_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_crawl.dir/deployment_crawl.cpp.o"
+  "CMakeFiles/deployment_crawl.dir/deployment_crawl.cpp.o.d"
+  "deployment_crawl"
+  "deployment_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

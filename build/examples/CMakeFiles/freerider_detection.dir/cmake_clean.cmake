@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_detection.dir/freerider_detection.cpp.o"
+  "CMakeFiles/freerider_detection.dir/freerider_detection.cpp.o.d"
+  "freerider_detection"
+  "freerider_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_simulation.dir/swarm_simulation.cpp.o"
+  "CMakeFiles/swarm_simulation.dir/swarm_simulation.cpp.o.d"
+  "swarm_simulation"
+  "swarm_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_analysis.dir/deployment_observer.cpp.o"
+  "CMakeFiles/bc_analysis.dir/deployment_observer.cpp.o.d"
+  "CMakeFiles/bc_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/bc_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/bc_analysis.dir/plot.cpp.o"
+  "CMakeFiles/bc_analysis.dir/plot.cpp.o.d"
+  "libbc_analysis.a"
+  "libbc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

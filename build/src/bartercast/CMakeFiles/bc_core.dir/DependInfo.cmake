@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bartercast/codec.cpp" "src/bartercast/CMakeFiles/bc_core.dir/codec.cpp.o" "gcc" "src/bartercast/CMakeFiles/bc_core.dir/codec.cpp.o.d"
+  "/root/repo/src/bartercast/history.cpp" "src/bartercast/CMakeFiles/bc_core.dir/history.cpp.o" "gcc" "src/bartercast/CMakeFiles/bc_core.dir/history.cpp.o.d"
+  "/root/repo/src/bartercast/message.cpp" "src/bartercast/CMakeFiles/bc_core.dir/message.cpp.o" "gcc" "src/bartercast/CMakeFiles/bc_core.dir/message.cpp.o.d"
+  "/root/repo/src/bartercast/node.cpp" "src/bartercast/CMakeFiles/bc_core.dir/node.cpp.o" "gcc" "src/bartercast/CMakeFiles/bc_core.dir/node.cpp.o.d"
+  "/root/repo/src/bartercast/persistence.cpp" "src/bartercast/CMakeFiles/bc_core.dir/persistence.cpp.o" "gcc" "src/bartercast/CMakeFiles/bc_core.dir/persistence.cpp.o.d"
+  "/root/repo/src/bartercast/policy.cpp" "src/bartercast/CMakeFiles/bc_core.dir/policy.cpp.o" "gcc" "src/bartercast/CMakeFiles/bc_core.dir/policy.cpp.o.d"
+  "/root/repo/src/bartercast/reputation.cpp" "src/bartercast/CMakeFiles/bc_core.dir/reputation.cpp.o" "gcc" "src/bartercast/CMakeFiles/bc_core.dir/reputation.cpp.o.d"
+  "/root/repo/src/bartercast/service.cpp" "src/bartercast/CMakeFiles/bc_core.dir/service.cpp.o" "gcc" "src/bartercast/CMakeFiles/bc_core.dir/service.cpp.o.d"
+  "/root/repo/src/bartercast/shared_history.cpp" "src/bartercast/CMakeFiles/bc_core.dir/shared_history.cpp.o" "gcc" "src/bartercast/CMakeFiles/bc_core.dir/shared_history.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_core.dir/codec.cpp.o"
+  "CMakeFiles/bc_core.dir/codec.cpp.o.d"
+  "CMakeFiles/bc_core.dir/history.cpp.o"
+  "CMakeFiles/bc_core.dir/history.cpp.o.d"
+  "CMakeFiles/bc_core.dir/message.cpp.o"
+  "CMakeFiles/bc_core.dir/message.cpp.o.d"
+  "CMakeFiles/bc_core.dir/node.cpp.o"
+  "CMakeFiles/bc_core.dir/node.cpp.o.d"
+  "CMakeFiles/bc_core.dir/persistence.cpp.o"
+  "CMakeFiles/bc_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/bc_core.dir/policy.cpp.o"
+  "CMakeFiles/bc_core.dir/policy.cpp.o.d"
+  "CMakeFiles/bc_core.dir/reputation.cpp.o"
+  "CMakeFiles/bc_core.dir/reputation.cpp.o.d"
+  "CMakeFiles/bc_core.dir/service.cpp.o"
+  "CMakeFiles/bc_core.dir/service.cpp.o.d"
+  "CMakeFiles/bc_core.dir/shared_history.cpp.o"
+  "CMakeFiles/bc_core.dir/shared_history.cpp.o.d"
+  "libbc_core.a"
+  "libbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

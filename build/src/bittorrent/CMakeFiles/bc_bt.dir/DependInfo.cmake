@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bittorrent/bandwidth.cpp" "src/bittorrent/CMakeFiles/bc_bt.dir/bandwidth.cpp.o" "gcc" "src/bittorrent/CMakeFiles/bc_bt.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/bittorrent/choker.cpp" "src/bittorrent/CMakeFiles/bc_bt.dir/choker.cpp.o" "gcc" "src/bittorrent/CMakeFiles/bc_bt.dir/choker.cpp.o.d"
+  "/root/repo/src/bittorrent/piece_picker.cpp" "src/bittorrent/CMakeFiles/bc_bt.dir/piece_picker.cpp.o" "gcc" "src/bittorrent/CMakeFiles/bc_bt.dir/piece_picker.cpp.o.d"
+  "/root/repo/src/bittorrent/swarm.cpp" "src/bittorrent/CMakeFiles/bc_bt.dir/swarm.cpp.o" "gcc" "src/bittorrent/CMakeFiles/bc_bt.dir/swarm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bartercast/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

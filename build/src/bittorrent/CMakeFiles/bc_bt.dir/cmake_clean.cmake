@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_bt.dir/bandwidth.cpp.o"
+  "CMakeFiles/bc_bt.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/bc_bt.dir/choker.cpp.o"
+  "CMakeFiles/bc_bt.dir/choker.cpp.o.d"
+  "CMakeFiles/bc_bt.dir/piece_picker.cpp.o"
+  "CMakeFiles/bc_bt.dir/piece_picker.cpp.o.d"
+  "CMakeFiles/bc_bt.dir/swarm.cpp.o"
+  "CMakeFiles/bc_bt.dir/swarm.cpp.o.d"
+  "libbc_bt.a"
+  "libbc_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

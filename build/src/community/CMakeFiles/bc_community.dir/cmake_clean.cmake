@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_community.dir/behavior.cpp.o"
+  "CMakeFiles/bc_community.dir/behavior.cpp.o.d"
+  "CMakeFiles/bc_community.dir/metrics.cpp.o"
+  "CMakeFiles/bc_community.dir/metrics.cpp.o.d"
+  "CMakeFiles/bc_community.dir/simulator.cpp.o"
+  "CMakeFiles/bc_community.dir/simulator.cpp.o.d"
+  "libbc_community.a"
+  "libbc_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

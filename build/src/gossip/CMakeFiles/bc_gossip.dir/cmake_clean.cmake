@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_gossip.dir/pss.cpp.o"
+  "CMakeFiles/bc_gossip.dir/pss.cpp.o.d"
+  "libbc_gossip.a"
+  "libbc_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

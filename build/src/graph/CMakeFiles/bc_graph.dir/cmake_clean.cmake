@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_graph.dir/flow_graph.cpp.o"
+  "CMakeFiles/bc_graph.dir/flow_graph.cpp.o.d"
+  "CMakeFiles/bc_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/bc_graph.dir/maxflow.cpp.o.d"
+  "libbc_graph.a"
+  "libbc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_identity.dir/identity.cpp.o"
+  "CMakeFiles/bc_identity.dir/identity.cpp.o.d"
+  "CMakeFiles/bc_identity.dir/stranger.cpp.o"
+  "CMakeFiles/bc_identity.dir/stranger.cpp.o.d"
+  "libbc_identity.a"
+  "libbc_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

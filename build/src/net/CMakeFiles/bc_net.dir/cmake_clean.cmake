@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_net.dir/overlay.cpp.o"
+  "CMakeFiles/bc_net.dir/overlay.cpp.o.d"
+  "libbc_net.a"
+  "libbc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_sim.dir/engine.cpp.o"
+  "CMakeFiles/bc_sim.dir/engine.cpp.o.d"
+  "libbc_sim.a"
+  "libbc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

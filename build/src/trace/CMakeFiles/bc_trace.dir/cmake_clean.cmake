@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_trace.dir/csv.cpp.o"
+  "CMakeFiles/bc_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/bc_trace.dir/deployment.cpp.o"
+  "CMakeFiles/bc_trace.dir/deployment.cpp.o.d"
+  "CMakeFiles/bc_trace.dir/generator.cpp.o"
+  "CMakeFiles/bc_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/bc_trace.dir/trace.cpp.o"
+  "CMakeFiles/bc_trace.dir/trace.cpp.o.d"
+  "libbc_trace.a"
+  "libbc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_util.dir/flags.cpp.o"
+  "CMakeFiles/bc_util.dir/flags.cpp.o.d"
+  "CMakeFiles/bc_util.dir/histogram.cpp.o"
+  "CMakeFiles/bc_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/bc_util.dir/logging.cpp.o"
+  "CMakeFiles/bc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bc_util.dir/rng.cpp.o"
+  "CMakeFiles/bc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bc_util.dir/stats.cpp.o"
+  "CMakeFiles/bc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bc_util.dir/table.cpp.o"
+  "CMakeFiles/bc_util.dir/table.cpp.o.d"
+  "CMakeFiles/bc_util.dir/timeseries.cpp.o"
+  "CMakeFiles/bc_util.dir/timeseries.cpp.o.d"
+  "libbc_util.a"
+  "libbc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bartercast_test.dir/bartercast/codec_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast/codec_test.cpp.o.d"
+  "CMakeFiles/bartercast_test.dir/bartercast/fuzz_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast/fuzz_test.cpp.o.d"
+  "CMakeFiles/bartercast_test.dir/bartercast/history_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast/history_test.cpp.o.d"
+  "CMakeFiles/bartercast_test.dir/bartercast/message_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast/message_test.cpp.o.d"
+  "CMakeFiles/bartercast_test.dir/bartercast/node_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast/node_test.cpp.o.d"
+  "CMakeFiles/bartercast_test.dir/bartercast/persistence_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast/persistence_test.cpp.o.d"
+  "CMakeFiles/bartercast_test.dir/bartercast/policy_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast/policy_test.cpp.o.d"
+  "CMakeFiles/bartercast_test.dir/bartercast/reputation_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast/reputation_test.cpp.o.d"
+  "CMakeFiles/bartercast_test.dir/bartercast/shared_history_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast/shared_history_test.cpp.o.d"
+  "bartercast_test"
+  "bartercast_test.pdb"
+  "bartercast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bartercast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

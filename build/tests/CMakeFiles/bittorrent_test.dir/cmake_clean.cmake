@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bittorrent_test.dir/bittorrent/bandwidth_test.cpp.o"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/bandwidth_test.cpp.o.d"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/bitfield_test.cpp.o"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/bitfield_test.cpp.o.d"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/choker_test.cpp.o"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/choker_test.cpp.o.d"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/piece_picker_test.cpp.o"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/piece_picker_test.cpp.o.d"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/swarm_fuzz_test.cpp.o"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/swarm_fuzz_test.cpp.o.d"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/swarm_test.cpp.o"
+  "CMakeFiles/bittorrent_test.dir/bittorrent/swarm_test.cpp.o.d"
+  "bittorrent_test"
+  "bittorrent_test.pdb"
+  "bittorrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bittorrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_test.dir/community/adversary_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/adversary_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/behavior_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/behavior_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/conservation_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/conservation_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/late_metrics_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/late_metrics_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/metrics_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/metrics_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/persistence_integration_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/persistence_integration_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/simulator_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/simulator_test.cpp.o.d"
+  "community_test"
+  "community_test.pdb"
+  "community_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/flow_graph_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/flow_graph_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/flow_graph_test.cpp.o.d"
+  "/root/repo/tests/graph/maxflow_property_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/maxflow_property_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/maxflow_property_test.cpp.o.d"
+  "/root/repo/tests/graph/maxflow_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/maxflow_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/maxflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/bc_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/identity/CMakeFiles/bc_identity.dir/DependInfo.cmake"
+  "/root/repo/build/src/bittorrent/CMakeFiles/bc_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bartercast/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/bc_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identity_test.dir/identity/identity_test.cpp.o"
+  "CMakeFiles/identity_test.dir/identity/identity_test.cpp.o.d"
+  "CMakeFiles/identity_test.dir/identity/stranger_test.cpp.o"
+  "CMakeFiles/identity_test.dir/identity/stranger_test.cpp.o.d"
+  "identity_test"
+  "identity_test.pdb"
+  "identity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

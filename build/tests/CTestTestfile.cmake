@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/gossip_test[1]_include.cmake")
+include("/root/repo/build/tests/bartercast_test[1]_include.cmake")
+include("/root/repo/build/tests/bittorrent_test[1]_include.cmake")
+include("/root/repo/build/tests/community_test[1]_include.cmake")
+include("/root/repo/build/tests/identity_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
