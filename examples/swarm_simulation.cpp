@@ -5,16 +5,33 @@
 // per-class download speeds and reputations over time.
 //
 // Build & run:  ./build/examples/swarm_simulation
+//   --validate  turn on the bc::check invariant audits for the whole run
+//               (ledger conservation per round, Eq. 1 bounds at the end);
+//               any violation aborts with a report. Validate builds
+//               (-DBARTERCAST_VALIDATE=ON) audit by default.
 #include <cstdio>
 #include <iostream>
+#include <map>
 
 #include "analysis/experiment.hpp"
+#include "check/audit.hpp"
 #include "community/simulator.hpp"
 #include "trace/generator.hpp"
+#include "util/flags.hpp"
 
 using namespace bc;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::map<std::string, std::string> allowed = {
+      {"validate", "run the bc::check invariant audits during the simulation"},
+  };
+  const auto flags = Flags::parse(argc, argv, allowed);
+  if (!flags.has_value()) {
+    std::fputs(Flags::usage(argv[0], allowed).c_str(), stderr);
+    return 1;
+  }
+  if (flags->get_bool("validate", false)) check::set_enabled(true);
+
   trace::GeneratorConfig tcfg;
   tcfg.seed = 2024;
   tcfg.num_peers = 30;
@@ -58,5 +75,15 @@ int main() {
               static_cast<unsigned long long>(m.messages.messages_sent),
               static_cast<unsigned long long>(m.messages.messages_received),
               static_cast<unsigned long long>(m.messages.records_applied));
+
+  if (check::enabled()) {
+    check::Report report;
+    sim.audit(report);
+    std::printf("invariant audit: %s (%llu audit hooks ran)\n",
+                report.ok() ? "clean" : report.to_string().c_str(),
+                static_cast<unsigned long long>(
+                    check::ScopedAudit::audits_run()));
+    if (!report.ok()) return 1;
+  }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "util/assert.hpp"
+
 namespace bc::bt {
 
 void Availability::add_bitfield(const Bitfield& have) {

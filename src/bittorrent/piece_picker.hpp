@@ -14,6 +14,7 @@
 #include <unordered_set>
 
 #include "bittorrent/bitfield.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace bc::bt {

@@ -136,6 +136,7 @@ Bytes Swarm::transfer(PeerId uploader, PeerId downloader, Bytes budget) {
       }
     }
   }
+  total_transferred_ += consumed;
   return consumed;
 }
 

@@ -64,6 +64,11 @@ class Swarm {
   void end_round();
   Bytes last_round_bytes(PeerId from, PeerId to) const;
 
+  /// Cumulative bytes moved by transfer() over the swarm's lifetime (across
+  /// all links, surviving peer removal). The bc::check ledger-conservation
+  /// audit compares this against the BarterCast private histories.
+  Bytes total_transferred() const { return total_transferred_; }
+
   /// Called once when a peer completes the file (gains the last piece).
   std::function<void(PeerId)> on_complete;
 
@@ -98,6 +103,7 @@ class Swarm {
   Availability availability_;
   std::unordered_map<PeerId, Member> members_;
   std::unordered_map<std::uint64_t, Link> links_;
+  Bytes total_transferred_ = 0;
 };
 
 }  // namespace bc::bt

@@ -1,0 +1,63 @@
+#include "check/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace bc::check {
+
+namespace {
+
+bool g_enabled = kValidateBuild;
+FailureHandler g_handler;  // empty -> default print-and-abort
+std::uint64_t g_audits_run = 0;
+std::uint64_t g_violations_found = 0;
+
+[[noreturn]] void default_failure(const std::string& name,
+                                  const Report& report) {
+  std::fprintf(stderr, "bc::check audit '%s' failed: %s\n", name.c_str(),
+               report.to_string().c_str());
+  std::abort();
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled; }
+
+void set_enabled(bool on) { g_enabled = on; }
+
+void set_failure_handler(FailureHandler handler) {
+  g_handler = std::move(handler);
+}
+
+void report_failure(const std::string& name, const Report& report) {
+  if (report.ok()) return;
+  g_violations_found += report.size();
+  if (g_handler) {
+    g_handler(name, report);
+  } else {
+    default_failure(name, report);
+  }
+}
+
+ScopedAudit::ScopedAudit(std::string name, AuditFn fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {}
+
+ScopedAudit::~ScopedAudit() {
+  if (armed_) check_now();
+}
+
+bool ScopedAudit::check_now() {
+  if (!enabled() || !fn_) return true;
+  ++g_audits_run;
+  Report report;
+  fn_(report);
+  report_failure(name_, report);
+  return report.ok();
+}
+
+std::uint64_t ScopedAudit::audits_run() { return g_audits_run; }
+
+std::uint64_t ScopedAudit::violations_found() { return g_violations_found; }
+
+}  // namespace bc::check

@@ -1,0 +1,75 @@
+// Fail-stop auditing hooks around the bc::check validators.
+//
+// A ScopedAudit runs a validator callback at scope exit (and on demand via
+// check_now()), turning Report violations into a fail-stop through a
+// replaceable failure handler -- the default prints the report and aborts,
+// mirroring BC_ASSERT; tests install a capturing handler instead.
+//
+// Auditing is opt-in at runtime via set_enabled(). The default follows the
+// BARTERCAST_VALIDATE CMake option: validate builds audit out of the box,
+// regular builds pay only a branch per hook until a caller (for example
+// `swarm_simulation --validate`) switches auditing on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "check/invariants.hpp"
+
+namespace bc::check {
+
+/// True when the build was configured with -DBARTERCAST_VALIDATE=ON.
+#ifdef BARTERCAST_VALIDATE
+inline constexpr bool kValidateBuild = true;
+#else
+inline constexpr bool kValidateBuild = false;
+#endif
+
+/// Whether audit hooks run. Starts as kValidateBuild.
+bool enabled();
+void set_enabled(bool on);
+
+/// Invoked when an audit surfaces violations. `name` identifies the audit
+/// site (e.g. "community.round").
+using FailureHandler =
+    std::function<void(const std::string& name, const Report& report)>;
+
+/// Replaces the failure handler; passing nullptr restores the default
+/// print-and-abort behaviour.
+void set_failure_handler(FailureHandler handler);
+
+/// Routes a non-ok report through the current failure handler (no-op for a
+/// clean report). Audit call sites outside ScopedAudit use this directly.
+void report_failure(const std::string& name, const Report& report);
+
+/// RAII audit hook: runs the callback once at scope exit while enabled().
+class ScopedAudit {
+ public:
+  using AuditFn = std::function<void(Report&)>;
+
+  ScopedAudit(std::string name, AuditFn fn);
+  ~ScopedAudit();
+
+  ScopedAudit(const ScopedAudit&) = delete;
+  ScopedAudit& operator=(const ScopedAudit&) = delete;
+
+  /// Runs the audit immediately (while enabled); violations go through the
+  /// failure handler. Returns false when violations were found.
+  bool check_now();
+
+  /// Disarms the scope-exit audit, e.g. on an error path that already
+  /// reported.
+  void dismiss() { armed_ = false; }
+
+  /// Process-wide counters, for tests and ops visibility.
+  static std::uint64_t audits_run();
+  static std::uint64_t violations_found();
+
+ private:
+  std::string name_;
+  AuditFn fn_;
+  bool armed_ = true;
+};
+
+}  // namespace bc::check

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "bittorrent/bandwidth.hpp"
+#include "check/audit.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -366,6 +367,21 @@ void CommunitySimulator::round() {
       st.late_time_downloading += dt;
     }
   }
+
+  // Phase 8: per-round conservation audit (validate builds / --validate).
+  // The cheap subset only: the full audit including Eq. 1 bounds runs once
+  // at the end of run().
+  if (check::enabled()) {
+    check::Report report;
+    check::check_engine(engine_, report);
+    std::vector<const bartercast::PrivateHistory*> ledgers;
+    ledgers.reserve(peers_.size());
+    for (const auto& p : peers_) ledgers.push_back(&p.node->history());
+    Bytes ground_truth = 0;
+    for (const auto& ctx : swarms_) ground_truth += ctx->swarm.total_transferred();
+    check::check_ledger_conservation(ledgers, ground_truth, report);
+    check::report_failure("community.round", report);
+  }
 }
 
 void CommunitySimulator::handle_completion(SwarmId swarm_id, PeerId id) {
@@ -418,6 +434,11 @@ void CommunitySimulator::on_barter_message(
     PeerId receiver, PeerId sender, const bartercast::BarterCastMessage& msg,
     bool is_reply) {
   ++metrics_.messages.messages_received;
+  if (check::enabled()) {
+    check::Report report;
+    check::check_message(msg, config_.node.selection, report);
+    check::report_failure("community.message", report);
+  }
   PeerState& p = peer(receiver);
   const auto stats = p.node->receive_message(msg);
   metrics_.messages.records_applied += stats.applied;
@@ -489,9 +510,53 @@ void CommunitySimulator::finalize() {
   }
 }
 
+void CommunitySimulator::audit(check::Report& report) const {
+  // Simulator monotonicity.
+  check::check_engine(engine_, report);
+
+  // Ledger conservation against the transport's ground truth.
+  std::vector<const bartercast::PrivateHistory*> ledgers;
+  ledgers.reserve(peers_.size());
+  for (const auto& p : peers_) ledgers.push_back(&p.node->history());
+  Bytes ground_truth = 0;
+  for (const auto& ctx : swarms_) {
+    ground_truth += ctx->swarm.total_transferred();
+    if (!ctx->swarm.check_invariants()) {
+      report.fail("swarm.invariants",
+                  "piece/availability invariants broken in a swarm");
+    }
+  }
+  check::check_ledger_conservation(ledgers, ground_truth, report);
+
+  // Subjective graphs, Eq. 1 bounds, and outgoing-message shape. Graph
+  // structure is cheap and checked for everyone; the maxflow/reputation
+  // bounds are O(n * deg) per evaluator, so cap the evaluator sample (a
+  // deterministic prefix keeps audit output stable across runs).
+  const bartercast::ReputationEngine engine(config_.node.reputation);
+  constexpr PeerId kBoundsSampleCap = 16;
+  std::vector<PeerId> subjects;
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    const bartercast::Node& node = *peers_[id].node;
+    check::check_flow_graph(node.view().graph(), report);
+    if (id < kBoundsSampleCap) {
+      subjects.clear();
+      for (PeerId s = 0; s < peers_.size() && subjects.size() < kBoundsSampleCap;
+           ++s) {
+        if (s != id) subjects.push_back(s);
+      }
+      check::check_reputation_bounds(engine, node.view().graph(), id, subjects,
+                                     report);
+      check::check_message(node.make_message(engine_.now()),
+                           config_.node.selection, report);
+    }
+  }
+}
+
 void CommunitySimulator::run() {
   BC_ASSERT_MSG(!ran_, "run() must be called once");
   ran_ = true;
+  check::ScopedAudit audit_hook(
+      "community.run", [this](check::Report& report) { audit(report); });
   engine_.run_until(trace_.duration);
   finalize();
   BC_DASSERT(std::all_of(swarms_.begin(), swarms_.end(), [](const auto& c) {

@@ -25,6 +25,7 @@
 #include "bartercast/node.hpp"
 #include "bittorrent/choker.hpp"
 #include "bittorrent/swarm.hpp"
+#include "check/invariants.hpp"
 #include "community/behavior.hpp"
 #include "community/metrics.hpp"
 #include "community/scenario.hpp"
@@ -60,6 +61,14 @@ class CommunitySimulator {
   /// System reputation of `peer`: average of the reputations it has at the
   /// other trace peers (Equation 2). Exposed for probes and tests.
   double system_reputation(PeerId peer);
+
+  /// Runs every cross-module invariant validator over the current state:
+  /// ledger conservation against the swarms' ground-truth byte counters,
+  /// per-peer subjective graph consistency and Eq. 1 bounds (capped sample),
+  /// event-queue monotonicity, and outgoing-message well-formedness.
+  /// Appends violations to `report`. Called automatically while
+  /// bc::check::enabled() (see BARTERCAST_VALIDATE); callable any time.
+  void audit(check::Report& report) const;
 
  private:
   struct PeerState {

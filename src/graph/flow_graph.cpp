@@ -79,6 +79,18 @@ std::vector<PeerId> FlowGraph::nodes() const {
   return out;
 }
 
+Bytes FlowGraph::out_capacity(PeerId node) const {
+  Bytes total = 0;
+  for (const auto& [_, cap] : out_edges(node)) total += cap;
+  return total;
+}
+
+Bytes FlowGraph::in_capacity(PeerId node) const {
+  Bytes total = 0;
+  for (PeerId from : in_edges(node)) total += capacity(from, node);
+  return total;
+}
+
 Bytes FlowGraph::total_capacity() const {
   Bytes total = 0;
   for (const auto& [_, adj] : out_) {

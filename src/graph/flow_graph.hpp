@@ -45,6 +45,12 @@ class FlowGraph {
   /// Sum of capacities of all edges.
   Bytes total_capacity() const;
 
+  /// Sum of capacities leaving `node` (an upper bound on any s=node flow:
+  /// the trivial cut around the source). 0 for unknown nodes.
+  Bytes out_capacity(PeerId node) const;
+  /// Sum of capacities entering `node` (the trivial cut around the sink).
+  Bytes in_capacity(PeerId node) const;
+
   /// Removes a node and all incident edges. No-op for unknown node.
   void remove_node(PeerId node);
 

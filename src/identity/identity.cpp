@@ -1,5 +1,7 @@
 #include "identity/identity.hpp"
 
+#include "util/assert.hpp"
+
 namespace bc::identity {
 
 PeerId IdentityManager::mint(UserId user) {

@@ -1,5 +1,7 @@
 #include "identity/stranger.hpp"
 
+#include "util/assert.hpp"
+
 namespace bc::identity {
 
 StrangerPolicy StrangerPolicy::fixed(double penalty) {

@@ -87,4 +87,9 @@ std::size_t Engine::pending_events() const {
   return payloads_.size();
 }
 
+std::optional<Seconds> Engine::next_event_time() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().time;
+}
+
 }  // namespace bc::sim

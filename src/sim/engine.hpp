@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,12 @@ class Engine {
   void run();
 
   std::size_t pending_events() const;
+
+  /// Timestamp of the earliest queued heap entry (cancelled entries
+  /// included), or nullopt when the queue is empty. Never earlier than
+  /// now(): schedule_at refuses events in the past, which the bc::check
+  /// monotonicity audit re-verifies through this accessor.
+  std::optional<Seconds> next_event_time() const;
 
  private:
   struct Event {

@@ -35,7 +35,11 @@ namespace bc::detail {
   } while (false)
 
 #ifdef NDEBUG
-#define BC_DASSERT(expr) ((void)0)
+// The expression stays syntactically checked and its operands count as used
+// (sizeof is an unevaluated context), so variables referenced only from
+// debug asserts do not trip -Wunused-variable/-Wunused-but-set-variable in
+// release builds, and the macro cannot change odr-use between build types.
+#define BC_DASSERT(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
 #else
 #define BC_DASSERT(expr) BC_ASSERT(expr)
 #endif

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/assert.hpp"
+
 namespace bc {
 
 double Rng::exponential(double mean) {
