@@ -64,8 +64,11 @@ int main() {
   std::filesystem::create_directories("bench_plots");
   const auto gp_a = analysis::write_reputation_plot(m, "bench_plots", "fig1a");
   const auto gp_b = analysis::write_scatter_plot(m, "bench_plots", "fig1b");
-  if (!gp_a.empty() && !gp_b.empty()) {
-    std::printf("gnuplot scripts: %s %s\n", gp_a.c_str(), gp_b.c_str());
+  const auto gp_c =
+      analysis::write_reputation_histogram_plot(m, "bench_plots", "fig1c");
+  if (!gp_a.empty() && !gp_b.empty() && !gp_c.empty()) {
+    std::printf("gnuplot scripts: %s %s %s\n", gp_a.c_str(), gp_b.c_str(),
+                gp_c.c_str());
   }
   return last_s > last_f ? 0 : 1;
 }

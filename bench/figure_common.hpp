@@ -6,6 +6,14 @@
 // configuration (fewer peers/swarms, 3 days) when iterating; the qualitative
 // shapes survive the reduction but the reported numbers are then not the
 // paper-scale ones.
+// Observability: every figure bench honours three environment variables —
+//   BC_PROFILE=1           enable the scoped profiler, print the per-site
+//                          report at exit
+//   BC_METRICS_OUT=f.json  enable the profiler, dump registry + profile
+//                          JSON to f.json at exit
+//   BC_TRACE_OUT=f.json    enable the sim-time tracer, dump Chrome trace
+//                          JSON (open in chrome://tracing or Perfetto)
+// so hot-path attribution of a paper-scale run is one env var away.
 #pragma once
 
 #include <cstdio>
@@ -15,6 +23,10 @@
 
 #include "community/scenario.hpp"
 #include "community/simulator.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_writer.hpp"
 #include "trace/generator.hpp"
 #include "util/units.hpp"
 
@@ -23,6 +35,38 @@ namespace bench {
 inline bool quick_mode() {
   const char* v = std::getenv("BC_QUICK");
   return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+/// Dumps whatever observability outputs the environment requested; runs at
+/// exit so it covers the whole bench without per-bench wiring.
+inline void dump_observability() {
+  const auto& registry = bc::obs::Registry::instance();
+  const auto& profiler = bc::obs::Profiler::instance();
+  if (const char* path = std::getenv("BC_METRICS_OUT"); path != nullptr) {
+    if (bc::obs::write_text_file(path,
+                                 bc::obs::metrics_json(registry, profiler))) {
+      std::fprintf(stderr, "metrics written to %s\n", path);
+    }
+  }
+  if (const char* path = std::getenv("BC_TRACE_OUT"); path != nullptr) {
+    if (bc::obs::Tracer::instance().write_file(path)) {
+      std::fprintf(stderr, "chrome trace written to %s\n", path);
+    }
+  }
+  if (const char* v = std::getenv("BC_PROFILE");
+      v != nullptr && std::strcmp(v, "0") != 0) {
+    std::fprintf(stderr, "== profile ==\n%s",
+                 bc::obs::profile_report(profiler).c_str());
+  }
+}
+
+inline void init_observability() {
+  const bool profile = std::getenv("BC_PROFILE") != nullptr ||
+                       std::getenv("BC_METRICS_OUT") != nullptr;
+  const bool trace = std::getenv("BC_TRACE_OUT") != nullptr;
+  if (profile || trace) bc::obs::Profiler::instance().set_enabled(true);
+  if (trace) bc::obs::Tracer::instance().set_enabled(true);
+  if (profile || trace) std::atexit(dump_observability);
 }
 
 inline bc::trace::GeneratorConfig paper_trace(std::uint64_t seed) {
@@ -44,6 +88,7 @@ inline bc::community::ScenarioConfig paper_scenario(std::uint64_t seed) {
 }
 
 inline void print_header(const char* figure, const char* what) {
+  init_observability();
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", figure, what);
   std::printf("mode: %s\n", quick_mode() ? "QUICK (BC_QUICK=1)" : "paper scale");

@@ -1,0 +1,8 @@
+set terminal pngcairo size 800,500
+set output 'fig1c.png'
+set title 'final system reputation distribution'
+set xlabel 'system reputation'
+set ylabel 'peers'
+set style fill transparent solid 0.5
+set boxwidth 0.04
+plot 'fig1c.dat' using 1:2 with boxes title 'sharers', 'fig1c.dat' using 1:3 with boxes title 'freeriders'

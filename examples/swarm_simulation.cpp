@@ -5,10 +5,18 @@
 // per-class download speeds and reputations over time.
 //
 // Build & run:  ./build/examples/swarm_simulation
-//   --validate  turn on the bc::check invariant audits for the whole run
-//               (ledger conservation per round, Eq. 1 bounds at the end);
-//               any violation aborts with a report. Validate builds
-//               (-DBARTERCAST_VALIDATE=ON) audit by default.
+//   --validate      turn on the bc::check invariant audits for the whole
+//                   run (ledger conservation per round, Eq. 1 bounds at
+//                   the end); any violation aborts with a report. Validate
+//                   builds (-DBARTERCAST_VALIDATE=ON) audit by default.
+//   --metrics-out=F write the obs metrics registry + profiling sites as
+//                   JSON to F at end of run (implies --profile).
+//   --metrics-csv=F write the counters/gauges/histogram buckets as CSV.
+//   --trace-out=F   record a sim-time Chrome trace (engine events, gossip
+//                   exchanges, choke rescans, counter tracks) and write it
+//                   to F; open in chrome://tracing or ui.perfetto.dev.
+//   --profile       enable the scoped wall-time profiler and print the
+//                   per-site report (maxflow/gossip/choker attribution).
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -16,6 +24,10 @@
 #include "analysis/experiment.hpp"
 #include "check/audit.hpp"
 #include "community/simulator.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_writer.hpp"
 #include "trace/generator.hpp"
 #include "util/flags.hpp"
 
@@ -24,6 +36,10 @@ using namespace bc;
 int main(int argc, char** argv) {
   const std::map<std::string, std::string> allowed = {
       {"validate", "run the bc::check invariant audits during the simulation"},
+      {"metrics-out", "write metrics + profile JSON to this path"},
+      {"metrics-csv", "write metrics CSV to this path"},
+      {"trace-out", "write a sim-time Chrome trace JSON to this path"},
+      {"profile", "profile hot sites and print the report"},
   };
   const auto flags = Flags::parse(argc, argv, allowed);
   if (!flags.has_value()) {
@@ -31,6 +47,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (flags->get_bool("validate", false)) check::set_enabled(true);
+
+  const std::string metrics_out = flags->get("metrics-out", "");
+  const std::string metrics_csv = flags->get("metrics-csv", "");
+  const std::string trace_out = flags->get("trace-out", "");
+  const bool profile = flags->get_bool("profile", false) ||
+                       !metrics_out.empty() || !trace_out.empty();
+  // Enable before the simulator is constructed: schedule_periodics checks
+  // the tracer flag to decide whether to emit counter-track snapshots.
+  if (profile) obs::Profiler::instance().set_enabled(true);
+  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
 
   trace::GeneratorConfig tcfg;
   tcfg.seed = 2024;
@@ -75,6 +101,42 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(m.messages.messages_sent),
               static_cast<unsigned long long>(m.messages.messages_received),
               static_cast<unsigned long long>(m.messages.records_applied));
+  std::printf("records dropped: %llu total (%llu third-party, %llu own-edge, "
+              "%llu self-report)\n",
+              static_cast<unsigned long long>(m.messages.records_dropped()),
+              static_cast<unsigned long long>(m.messages.dropped_third_party),
+              static_cast<unsigned long long>(m.messages.dropped_own_edge),
+              static_cast<unsigned long long>(m.messages.dropped_self_report));
+
+  if (profile) {
+    std::printf("\n== profile (wall time per site) ==\n%s",
+                obs::profile_report(obs::Profiler::instance()).c_str());
+  }
+  if (!metrics_out.empty()) {
+    const std::string json = obs::metrics_json(obs::Registry::instance(),
+                                               obs::Profiler::instance());
+    if (!obs::write_text_file(metrics_out, json)) {
+      std::fprintf(stderr, "error: could not write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics JSON written to %s\n", metrics_out.c_str());
+  }
+  if (!metrics_csv.empty()) {
+    if (!obs::write_text_file(metrics_csv,
+                              obs::metrics_csv(obs::Registry::instance()))) {
+      std::fprintf(stderr, "error: could not write %s\n", metrics_csv.c_str());
+      return 1;
+    }
+    std::printf("metrics CSV written to %s\n", metrics_csv.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::Tracer::instance().write_file(trace_out)) {
+      std::fprintf(stderr, "error: could not write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("chrome trace (%zu events) written to %s\n",
+                obs::Tracer::instance().size(), trace_out.c_str());
+  }
 
   if (check::enabled()) {
     check::Report report;

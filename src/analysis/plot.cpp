@@ -91,6 +91,35 @@ std::string write_scatter_plot(const community::Metrics& metrics,
   return emit(directory, stem, dat, gp);
 }
 
+std::string write_reputation_histogram_plot(const community::Metrics& metrics,
+                                            const std::string& directory,
+                                            const std::string& stem) {
+  const obs::Histogram& sharers = metrics.reputation_hist_sharers;
+  const obs::Histogram& freeriders = metrics.reputation_hist_freeriders;
+  // The histograms share bucket edges by construction (Metrics ctor).
+  std::string dat = "# bucket_upper_edge sharers_count freeriders_count\n";
+  for (std::size_t i = 0; i < sharers.num_buckets(); ++i) {
+    if (sharers.count(i) == 0 && freeriders.count(i) == 0) continue;
+    // Bucket i spans up to upper_edge(i); the overflow bucket (all-zero for
+    // reputations, which live in (-1, 1)) would print as "inf", so skip it.
+    if (i == sharers.edges().size()) continue;
+    dat += std::to_string(sharers.upper_edge(i)) + ' ' +
+           std::to_string(sharers.count(i)) + ' ' +
+           std::to_string(freeriders.count(i)) + '\n';
+  }
+  const std::string gp =
+      "set terminal pngcairo size 800,500\n"
+      "set output '" + stem + ".png'\n"
+      "set title 'final system reputation distribution'\n"
+      "set xlabel 'system reputation'\n"
+      "set ylabel 'peers'\n"
+      "set style fill transparent solid 0.5\n"
+      "set boxwidth 0.04\n"
+      "plot '" + stem + ".dat' using 1:2 with boxes title 'sharers', '" +
+      stem + ".dat' using 1:3 with boxes title 'freeriders'\n";
+  return emit(directory, stem, dat, gp);
+}
+
 std::string write_cdf_plot(std::span<const CdfPoint> cdf,
                            const std::string& directory,
                            const std::string& stem,

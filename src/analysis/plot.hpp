@@ -28,6 +28,13 @@ std::string write_speed_plot(const community::Metrics& metrics,
                              const std::string& directory,
                              const std::string& stem);
 
+/// End-of-run final-reputation distribution per class, from the obs
+/// histograms Metrics fills in finalize() — distributions, not just the
+/// time-series means of Figure 1(a).
+std::string write_reputation_histogram_plot(const community::Metrics& metrics,
+                                            const std::string& directory,
+                                            const std::string& stem);
+
 /// Figure 4(b)-style plot: a CDF curve.
 std::string write_cdf_plot(std::span<const CdfPoint> cdf,
                            const std::string& directory,

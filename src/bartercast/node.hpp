@@ -53,6 +53,8 @@ class Node {
 
   const PrivateHistory& history() const { return history_; }
   const SharedHistory& view() const { return view_; }
+  /// Cache statistics for observability (see obs/metrics.hpp consumers).
+  const CachedReputation& reputation_cache() const { return cached_; }
 
  private:
   PeerId self_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/profile.hpp"
 #include "util/assert.hpp"
 
 namespace bc::bartercast {
@@ -35,6 +36,7 @@ double ReputationEngine::scale(Bytes flow_difference) const {
 
 double ReputationEngine::reputation(const graph::FlowGraph& graph,
                                     PeerId evaluator, PeerId subject) const {
+  BC_OBS_SCOPE("reputation.evaluate");
   if (evaluator == subject) return 0.0;
   const Bytes toward = flow(graph, subject, evaluator);
   const Bytes away = flow(graph, evaluator, subject);
@@ -46,6 +48,10 @@ double ReputationEngine::reputation(const SharedHistory& view,
   return reputation(view.graph(), view.owner(), subject);
 }
 
+// The hit path is a handful of nanoseconds, so it carries no registry
+// instrumentation — the hits_/misses_ members are the ground truth and
+// consumers (community::CommunitySimulator::finalize) publish the totals
+// into the "reputation.cache_*" registry counters at end of run.
 double CachedReputation::reputation(PeerId subject) {
   auto [it, inserted] = cache_.try_emplace(subject);
   if (!inserted && it->second.version == view_.version()) {

@@ -3,7 +3,10 @@
 #include <utility>
 
 #include "bartercast/persistence.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 
 namespace bc::bartercast {
 
@@ -32,6 +35,7 @@ void Service::send_message(PeerId to, Seconds now) {
 }
 
 PeerId Service::on_exchange_tick(Seconds now) {
+  BC_OBS_SCOPE("service.exchange_tick");
   if (now < next_exchange_) return kInvalidPeer;
   next_exchange_ = now + config_.exchange_interval;
   const PeerId partner = sample_partner_();
@@ -44,9 +48,16 @@ PeerId Service::on_exchange_tick(Seconds now) {
 
 bool Service::on_datagram(PeerId from, std::span<const std::uint8_t> data,
                           Seconds now, bool reply) {
+  BC_OBS_SCOPE("service.on_datagram");
+  static obs::Counter& rejected =
+      obs::Registry::instance().counter("service.datagrams_rejected");
   const auto message = decode(data);
   if (!message.has_value()) {
     ++stats_.messages_rejected;
+    rejected.inc();
+    BC_LOG_TAG(LogLevel::Debug, "bartercast",
+               "dropped undecodable datagram from peer %u (%zu bytes)", from,
+               data.size());
     return false;
   }
   ++stats_.messages_received;

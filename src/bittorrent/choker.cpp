@@ -2,17 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
 namespace bc::bt {
 
 std::vector<PeerId> pick_regular_unchokes(
     std::span<const UnchokeCandidate> candidates, int slots,
     const bartercast::ReputationPolicy& policy) {
+  BC_OBS_SCOPE("choker.pick_regular");
+  static obs::Counter& policy_exclusions =
+      obs::Registry::instance().counter("choker.policy_exclusions");
   std::vector<const UnchokeCandidate*> eligible;
   eligible.reserve(candidates.size());
   for (const auto& c : candidates) {
-    if (c.interested && policy.allows_slot(c.reputation)) {
-      eligible.push_back(&c);
+    if (!c.interested) continue;
+    if (!policy.allows_slot(c.reputation)) {
+      // Interested but shut out by the reputation policy: the decision the
+      // ban experiments (Figure 2b/3) turn on, so it gets its own counter.
+      policy_exclusions.inc();
+      continue;
     }
+    eligible.push_back(&c);
   }
   std::sort(eligible.begin(), eligible.end(),
             [](const UnchokeCandidate* a, const UnchokeCandidate* b) {
@@ -32,6 +43,7 @@ PeerId OptimisticRotator::pick(std::span<const UnchokeCandidate> candidates,
                                std::span<const PeerId> regular,
                                const bartercast::ReputationPolicy& policy,
                                Seconds now) {
+  BC_OBS_SCOPE("choker.optimistic_pick");
   const UnchokeCandidate* best = nullptr;
   Seconds best_served = 0.0;
   auto served_at = [&](PeerId p) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "community/behavior.hpp"
+#include "obs/metrics.hpp"
 #include "util/ids.hpp"
 #include "util/timeseries.hpp"
 #include "util/units.hpp"
@@ -35,8 +36,16 @@ struct MessageStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t records_applied = 0;
-  std::uint64_t records_dropped = 0;
+  // Dropped records, by the integrity rule that rejected them (the
+  // SharedHistory::ApplyStats reasons; see shared_history.hpp).
+  std::uint64_t dropped_third_party = 0;  // record not involving its sender
+  std::uint64_t dropped_own_edge = 0;     // gossip claim about our own edges
+  std::uint64_t dropped_self_report = 0;  // record about (sender, sender)
   std::uint64_t gossip_exchanges = 0;
+
+  std::uint64_t records_dropped() const {
+    return dropped_third_party + dropped_own_edge + dropped_self_report;
+  }
 };
 
 struct Metrics {
@@ -53,6 +62,13 @@ struct Metrics {
 
   std::vector<PeerOutcome> outcomes;  // one per trace peer, by peer id
   MessageStats messages;
+
+  // End-of-run distribution of final system reputations per class (the
+  // histogram view behind the Figure 1 class means; bench_plots renders it
+  // via analysis::write_reputation_histogram_plot). 40 buckets across the
+  // metric's full (-1, 1) range.
+  obs::Histogram reputation_hist_sharers;
+  obs::Histogram reputation_hist_freeriders;
 
   /// Mean download speed of a class over the last `tail` seconds of the
   /// run (used for the endpoint comparisons of Figures 2-3).

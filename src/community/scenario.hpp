@@ -53,6 +53,12 @@ struct ScenarioConfig {
   Seconds reputation_probe_interval = 2.0 * kHour;
   /// Bin width of the speed/reputation time series.
   Seconds series_bin = 4.0 * kHour;
+
+  // --- observability ---------------------------------------------------
+  /// Period of the obs counter snapshots fed into the sim-time tracer as
+  /// Chrome 'C' (counter-track) events. Only scheduled while the tracer is
+  /// enabled at construction time, so default runs schedule nothing.
+  Seconds metrics_snapshot_interval = 1.0 * kHour;
 };
 
 }  // namespace bc::community

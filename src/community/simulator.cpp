@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "bittorrent/bandwidth.hpp"
 #include "check/audit.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_writer.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -163,6 +168,18 @@ void CommunitySimulator::schedule_periodics() {
   engine_.schedule_periodic(config_.reputation_probe_interval,
                             config_.reputation_probe_interval,
                             [this] { reputation_probe(); });
+  // Counter tracks for the trace viewer. Checked once, at construction:
+  // enabling the tracer mid-run affects instants but not these snapshots.
+  if (obs::Tracer::instance().enabled()) {
+    BC_ASSERT(config_.metrics_snapshot_interval > 0.0);
+    engine_.schedule_periodic(
+        config_.metrics_snapshot_interval, config_.metrics_snapshot_interval,
+        [this] {
+          obs::snapshot_counters_to_trace(obs::Registry::instance(),
+                                          obs::Tracer::instance(),
+                                          engine_.now());
+        });
+  }
   for (PeerId id = 0; id < peers_.size(); ++id) {
     // Random phase per peer spreads the gossip load across rounds.
     const Seconds phase = rng_.uniform(0.0, config_.gossip_interval);
@@ -205,6 +222,7 @@ double CommunitySimulator::choker_reputation(PeerId evaluator,
 
 void CommunitySimulator::choke_swarm(SwarmId swarm_id,
                                      const std::vector<PeerId>& online) {
+  BC_OBS_SCOPE("community.choke_swarm");
   auto& ctx = *swarms_[swarm_id];
   const Seconds now = engine_.now();
   const Seconds dt = config_.round_interval;
@@ -251,9 +269,23 @@ void CommunitySimulator::choke_swarm(SwarmId swarm_id,
       cs.next_rotation = now + config_.optimistic_interval;
     }
   }
+  // One policy-decision event per swarm rescan keeps trace volume linear in
+  // rounds, not in peers.
+  if (auto& tracer = obs::Tracer::instance(); tracer.enabled()) {
+    tracer.instant("choke.rescan", "policy", now,
+                   {{"swarm", std::to_string(swarm_id)},
+                    {"online", std::to_string(online.size())},
+                    {"policy", config_.policy.name()}});
+  }
 }
 
 void CommunitySimulator::round() {
+  BC_OBS_SCOPE("community.round");
+  static obs::Counter& rounds =
+      obs::Registry::instance().counter("community.rounds");
+  static obs::Counter& bytes_moved =
+      obs::Registry::instance().counter("community.bytes_transferred");
+  rounds.inc();
   const Seconds now = engine_.now();
   const Seconds dt = config_.round_interval;
   round_received_.clear();
@@ -318,12 +350,17 @@ void CommunitySimulator::round() {
     const Bytes moved =
         swarms_[l.swarm]->swarm.transfer(l.uploader, l.downloader, budget);
     if (moved <= 0) continue;
+    bytes_moved.inc(static_cast<std::uint64_t>(moved));
     peer(l.uploader).node->on_bytes_sent(l.downloader, moved, now);
     peer(l.downloader).node->on_bytes_received(l.uploader, moved, now);
     peer(l.uploader).total_up += moved;
     peer(l.downloader).total_down += moved;
     round_received_[l.downloader] += moved;
   }
+
+  BC_LOG_TAG(LogLevel::Debug, "community",
+             "round: %zu active links across %zu swarms", links.size(),
+             swarms_.size());
 
   // Phase 4: completions reported during the transfers.
   for (const auto& [sid, who] : pending_completions_) {
@@ -413,6 +450,7 @@ bartercast::BarterCastMessage CommunitySimulator::make_outgoing_message(
 }
 
 void CommunitySimulator::gossip_tick(PeerId id) {
+  BC_OBS_SCOPE("community.gossip_tick");
   if (!overlay_.online(id)) return;
   const auto can_talk = [this](PeerId a, PeerId b) {
     return overlay_.can_communicate(a, b);
@@ -420,6 +458,11 @@ void CommunitySimulator::gossip_tick(PeerId id) {
   const PeerId partner = pss_.exchange(id, can_talk);
   if (partner == kInvalidPeer) return;
   ++metrics_.messages.gossip_exchanges;
+  if (auto& tracer = obs::Tracer::instance(); tracer.enabled()) {
+    tracer.instant("gossip.exchange", "gossip", engine_.now(),
+                   {{"initiator", std::to_string(id)},
+                    {"partner", std::to_string(partner)}});
+  }
   peer(id).node->on_peer_seen(partner, engine_.now());
   if (!sends_messages(peer(id).behavior)) return;
   auto payload = std::make_unique<BarterPayload>();
@@ -427,13 +470,28 @@ void CommunitySimulator::gossip_tick(PeerId id) {
   payload->is_reply = false;
   if (overlay_.send(id, partner, std::move(payload))) {
     ++metrics_.messages.messages_sent;
+    static obs::Counter& sent =
+        obs::Registry::instance().counter("barter.messages_sent");
+    sent.inc();
   }
 }
 
 void CommunitySimulator::on_barter_message(
     PeerId receiver, PeerId sender, const bartercast::BarterCastMessage& msg,
     bool is_reply) {
+  BC_OBS_SCOPE("community.on_barter_message");
+  static obs::Counter& received =
+      obs::Registry::instance().counter("barter.messages_received");
+  static obs::Counter& applied_c =
+      obs::Registry::instance().counter("barter.records_applied");
+  static obs::Counter& dropped_third_party =
+      obs::Registry::instance().counter("barter.dropped_third_party");
+  static obs::Counter& dropped_own_edge =
+      obs::Registry::instance().counter("barter.dropped_own_edge");
+  static obs::Counter& dropped_self_report =
+      obs::Registry::instance().counter("barter.dropped_self_report");
   ++metrics_.messages.messages_received;
+  received.inc();
   if (check::enabled()) {
     check::Report report;
     check::check_message(msg, config_.node.selection, report);
@@ -442,9 +500,13 @@ void CommunitySimulator::on_barter_message(
   PeerState& p = peer(receiver);
   const auto stats = p.node->receive_message(msg);
   metrics_.messages.records_applied += stats.applied;
-  metrics_.messages.records_dropped += stats.dropped_third_party +
-                                       stats.dropped_own_edge +
-                                       stats.dropped_self_report;
+  metrics_.messages.dropped_third_party += stats.dropped_third_party;
+  metrics_.messages.dropped_own_edge += stats.dropped_own_edge;
+  metrics_.messages.dropped_self_report += stats.dropped_self_report;
+  applied_c.inc(stats.applied);
+  dropped_third_party.inc(stats.dropped_third_party);
+  dropped_own_edge.inc(stats.dropped_own_edge);
+  dropped_self_report.inc(stats.dropped_self_report);
   p.node->on_peer_seen(sender, engine_.now());
   // Bidirectional exchange: answer a fresh message with our own records.
   if (!is_reply && sends_messages(p.behavior)) {
@@ -453,6 +515,9 @@ void CommunitySimulator::on_barter_message(
     payload->is_reply = true;
     if (overlay_.send(receiver, sender, std::move(payload))) {
       ++metrics_.messages.messages_sent;
+      static obs::Counter& sent =
+          obs::Registry::instance().counter("barter.messages_sent");
+      sent.inc();
     }
   }
 }
@@ -469,6 +534,7 @@ double CommunitySimulator::system_reputation(PeerId subject) {
 }
 
 void CommunitySimulator::reputation_probe() {
+  BC_OBS_SCOPE("community.reputation_probe");
   const Seconds now = engine_.now();
   const auto n = static_cast<PeerId>(trace_.peers.size());
   if (n < 2) return;
@@ -492,8 +558,28 @@ void CommunitySimulator::reputation_probe() {
 }
 
 void CommunitySimulator::finalize() {
+  BC_OBS_SCOPE("community.finalize");
   const auto n = static_cast<PeerId>(trace_.peers.size());
   metrics_.outcomes.resize(n);
+  // The registry mirrors of the per-class distributions accumulate across
+  // runs in one process; the Metrics histograms are this run only.
+  auto& registry = obs::Registry::instance();
+  obs::Histogram& reg_sharers = registry.histogram(
+      "community.final_reputation_sharers",
+      obs::Histogram::uniform_edges(-1.0, 1.0, 40));
+  obs::Histogram& reg_freeriders = registry.histogram(
+      "community.final_reputation_freeriders",
+      obs::Histogram::uniform_edges(-1.0, 1.0, 40));
+  // Publish the per-node reputation-cache tallies (kept as plain members so
+  // the nanosecond-scale hit path stays uninstrumented) as registry totals.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  for (PeerId i = 0; i < n; ++i) {
+    cache_hits += node(i).reputation_cache().hits();
+    cache_misses += node(i).reputation_cache().misses();
+  }
+  registry.counter("reputation.cache_hits").inc(cache_hits);
+  registry.counter("reputation.cache_misses").inc(cache_misses);
   for (PeerId i = 0; i < n; ++i) {
     PeerOutcome& o = metrics_.outcomes[i];
     const PeerState& p = peer(i);
@@ -507,6 +593,13 @@ void CommunitySimulator::finalize() {
     o.time_downloading = p.time_downloading;
     o.late_downloaded = p.late_downloaded;
     o.late_time_downloading = p.late_time_downloading;
+    if (is_freerider(o.behavior)) {
+      metrics_.reputation_hist_freeriders.add(o.final_system_reputation);
+      reg_freeriders.add(o.final_system_reputation);
+    } else {
+      metrics_.reputation_hist_sharers.add(o.final_system_reputation);
+      reg_sharers.add(o.final_system_reputation);
+    }
   }
 }
 
@@ -553,6 +646,7 @@ void CommunitySimulator::audit(check::Report& report) const {
 }
 
 void CommunitySimulator::run() {
+  BC_OBS_SCOPE("community.run");
   BC_ASSERT_MSG(!ran_, "run() must be called once");
   ran_ = true;
   check::ScopedAudit audit_hook(

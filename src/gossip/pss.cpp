@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/assert.hpp"
 
 namespace bc::gossip {
@@ -47,9 +49,17 @@ std::vector<PeerId> PeerSamplingService::random_slice(
 }
 
 PeerId PeerSamplingService::exchange(PeerId peer, const CanTalk& can_talk) {
+  BC_OBS_SCOPE("gossip.exchange");
+  static obs::Counter& exchanges =
+      obs::Registry::instance().counter("gossip.exchanges");
+  static obs::Counter& no_partner =
+      obs::Registry::instance().counter("gossip.exchanges_no_partner");
   BC_ASSERT(is_registered(peer));
   auto& view = views_[peer];
-  if (view.empty()) return kInvalidPeer;
+  if (view.empty()) {
+    no_partner.inc();
+    return kInvalidPeer;
+  }
 
   // Try view members in random order until a reachable, registered one is
   // found. Unregistered/defunct entries are garbage-collected on the way.
@@ -67,7 +77,11 @@ PeerId PeerSamplingService::exchange(PeerId peer, const CanTalk& can_talk) {
       break;
     }
   }
-  if (partner == kInvalidPeer) return kInvalidPeer;
+  if (partner == kInvalidPeer) {
+    no_partner.inc();
+    return kInvalidPeer;
+  }
+  exchanges.inc();
 
   // Swap slices; both sides also learn about the other endpoint itself.
   std::vector<PeerId> mine = random_slice(view, config_.exchange_size);

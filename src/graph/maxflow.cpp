@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "util/assert.hpp"
 
 namespace bc::graph {
@@ -89,6 +90,7 @@ bool dfs_find_path(const Residual& res, PeerId u, PeerId t, int depth_left,
 
 Bytes max_flow_ford_fulkerson(const FlowGraph& g, PeerId s, PeerId t,
                               int max_path_edges) {
+  BC_OBS_SCOPE("maxflow.ford_fulkerson");
   BC_ASSERT(max_path_edges == kUnboundedPathLength || max_path_edges >= 1);
   if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
   Residual res(g);
@@ -112,6 +114,7 @@ Bytes max_flow_ford_fulkerson(const FlowGraph& g, PeerId s, PeerId t,
 }
 
 Bytes max_flow_edmonds_karp(const FlowGraph& g, PeerId s, PeerId t) {
+  BC_OBS_SCOPE("maxflow.edmonds_karp");
   if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
   Residual res(g);
   Bytes flow = 0;
@@ -155,6 +158,7 @@ Bytes max_flow_edmonds_karp(const FlowGraph& g, PeerId s, PeerId t) {
 }
 
 Bytes max_flow_two_hop(const FlowGraph& g, PeerId s, PeerId t) {
+  BC_OBS_SCOPE("maxflow.two_hop");
   if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
   Bytes flow = g.capacity(s, t);
   for (const auto& [v, cap_sv] : g.out_edges(s)) {

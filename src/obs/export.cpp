@@ -1,0 +1,126 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/table.hpp"
+
+namespace bc::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string metrics_json(const Registry& registry, const Profiler& profiler) {
+  const Snapshot snap = registry.snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + format_double(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(h.name) + "\": {\"upper_edges\": [";
+    for (std::size_t i = 0; i < h.upper_edges.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += format_double(h.upper_edges[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "], \"total\": " + std::to_string(h.total) +
+           ", \"sum\": " + format_double(h.sum) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"profile\": {";
+  first = true;
+  for (const auto& site : profiler.snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(site.name) +
+           "\": {\"calls\": " + std::to_string(site.calls) +
+           ", \"total_ns\": " + std::to_string(site.nanos) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string metrics_csv(const Registry& registry) {
+  const Snapshot snap = registry.snapshot();
+  std::string out = "name,kind,value\n";
+  for (const auto& [name, value] : snap.counters) {
+    out += name + ",counter," + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += name + ",gauge," + format_double(value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string edge = i < h.upper_edges.size()
+                                   ? format_double(h.upper_edges[i])
+                                   : "inf";
+      out += h.name + "[le=" + edge + "],histogram," +
+             std::to_string(h.counts[i]) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string profile_report(const Profiler& profiler) {
+  Table t({"site", "calls", "total_ms", "mean_us"});
+  for (const auto& site : profiler.snapshot()) {
+    const double total_ms = static_cast<double>(site.nanos) / 1e6;
+    const double mean_us =
+        site.calls > 0
+            ? static_cast<double>(site.nanos) /
+                  (1e3 * static_cast<double>(site.calls))
+            : 0.0;
+    t.add_row({site.name, std::to_string(site.calls), fmt(total_ms, 3),
+               fmt(mean_us, 3)});
+  }
+  return t.to_string();
+}
+
+void snapshot_counters_to_trace(const Registry& registry, Tracer& tracer,
+                                Seconds t) {
+  if (!tracer.enabled()) return;
+  for (const auto& [name, value] : registry.snapshot().counters) {
+    tracer.counter(name, t, static_cast<double>(value));
+  }
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+}  // namespace bc::obs

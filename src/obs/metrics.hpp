@@ -1,0 +1,132 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// The simulator is single-threaded (see DESIGN.md §6), so instruments are
+// plain variables behind stable references — an increment is one add, no
+// locks, no atomics. Call sites cache the reference once (typically in a
+// function-local static) and touch only the instrument afterwards:
+//
+//   static obs::Counter& exchanges =
+//       obs::Registry::instance().counter("gossip.exchanges");
+//   exchanges.inc();
+//
+// Registry storage is node-based (std::map), so references returned by
+// counter()/gauge()/histogram() stay valid for the registry's lifetime,
+// including across reset_values(). Snapshots iterate the map in key order,
+// which makes exported output deterministic run-to-run.
+//
+// The registry does not know about simulation time; periodic snapshots are
+// driven externally (see obs/export.hpp and community::CommunitySimulator).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time measurement (last writer wins).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with explicit ascending upper edges. A value v
+/// lands in the first bucket whose upper edge satisfies v <= edge; values
+/// above the last edge land in an implicit overflow bucket, so total()
+/// always equals the number of add() calls.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> upper_edges);
+
+  /// Uniform edges covering [lo, hi] with `num_buckets` finite buckets
+  /// (the overflow bucket comes on top).
+  static std::vector<double> uniform_edges(double lo, double hi,
+                                           std::size_t num_buckets);
+
+  void add(double value);
+
+  /// Finite buckets plus the overflow bucket.
+  std::size_t num_buckets() const { return counts_.size(); }
+  /// Upper edge of bucket `i`; the overflow bucket reports +infinity.
+  double upper_edge(std::size_t i) const;
+  std::uint64_t count(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& edges() const { return edges_; }
+
+  void reset();
+
+ private:
+  std::vector<double> edges_;           // ascending finite upper bounds
+  std::vector<std::uint64_t> counts_;   // edges_.size() + 1 (overflow last)
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Value-copies of every instrument, sorted by name.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_edges;
+  std::vector<std::uint64_t> counts;  // incl. trailing overflow bucket
+  std::uint64_t total = 0;
+  double sum = 0.0;
+};
+
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+
+  /// The process-wide registry used by the BC instrumentation sites.
+  static Registry& instance();
+
+  /// Finds or creates the named instrument. References stay valid for the
+  /// registry's lifetime. For histogram(), `upper_edges` is consumed only
+  /// on first creation; later lookups ignore it.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> upper_edges);
+
+  Snapshot snapshot() const;
+
+  std::size_t num_instruments() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes every instrument but keeps registrations (and therefore all
+  /// outstanding references) intact.
+  void reset_values();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace bc::obs

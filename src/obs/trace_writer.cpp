@@ -1,0 +1,146 @@
+#include "obs/trace_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bc::obs {
+
+namespace {
+
+std::uint64_t to_micros(Seconds t) {
+  BC_ASSERT_MSG(t >= 0.0, "trace timestamps are sim time, never negative");
+  return static_cast<std::uint64_t>(std::llround(t * 1e6));
+}
+
+/// Shortest round-trippable representation; "%.17g" noise would bloat the
+/// file and break golden-file stability for representable values.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::instant(std::string name, std::string category, Seconds t,
+                     Args args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'i';
+  ev.ts_us = to_micros(t);
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::complete(std::string name, std::string category, Seconds start,
+                      Seconds duration, Args args) {
+  if (!enabled_) return;
+  BC_ASSERT(duration >= 0.0);
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'X';
+  ev.ts_us = to_micros(start);
+  ev.dur_us = to_micros(duration);
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::counter(std::string name, Seconds t, double value) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = "metrics";
+  ev.phase = 'C';
+  ev.ts_us = to_micros(t);
+  ev.value = value;
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+       << json_escape(ev.category) << "\",\"ph\":\"" << ev.phase
+       << "\",\"pid\":0,\"tid\":0,\"ts\":" << ev.ts_us;
+    if (ev.phase == 'X') os << ",\"dur\":" << ev.dur_us;
+    if (ev.phase == 'C') {
+      os << ",\"args\":{\"value\":" << format_double(ev.value) << "}";
+    } else if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, val] : ev.args) {
+        if (!first_arg) os << ',';
+        first_arg = false;
+        os << '"' << json_escape(key) << "\":\"" << json_escape(val) << '"';
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string Tracer::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return out.good();
+}
+
+}  // namespace bc::obs

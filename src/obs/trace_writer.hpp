@@ -1,0 +1,81 @@
+// Sim-time event tracer emitting Chrome trace-event JSON.
+//
+// Events are timestamped with *simulation* time (microseconds, as the
+// Trace Event Format requires), so the resulting file — loadable in
+// chrome://tracing or https://ui.perfetto.dev — shows the run on the
+// simulated clock: engine dispatches, gossip exchanges, choke rescans, and
+// counter tracks of the metrics registry, all on one timeline.
+//
+// The tracer is disabled by default; every emit helper is a no-op until
+// set_enabled(true), so default runs pay one branch per candidate event.
+// Events buffer in memory and are serialized at end of run (write_json /
+// write_file); sims emit at most a few hundred thousand events, well
+// within memory for the scales the tracer is meant for. Serialization is
+// deterministic: integer microsecond timestamps, insertion order.
+//
+// Supported phases: 'i' (instant), 'X' (complete, with duration), and
+// 'C' (counter, plotted as a track). String args are JSON-escaped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bc::obs {
+
+/// JSON-escapes a string for embedding between double quotes.
+std::string json_escape(std::string_view s);
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'i';
+  std::uint64_t ts_us = 0;   // simulation time, microseconds
+  std::uint64_t dur_us = 0;  // 'X' only
+  double value = 0.0;        // 'C' only
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  Tracer() = default;
+
+  /// The process-wide tracer the instrumentation sites emit into.
+  static Tracer& instance();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Point event at sim time `t`.
+  void instant(std::string name, std::string category, Seconds t,
+               Args args = {});
+  /// Span event covering [start, start + duration] of sim time.
+  void complete(std::string name, std::string category, Seconds start,
+                Seconds duration, Args args = {});
+  /// Counter sample; same-name samples form a plotted track.
+  void counter(std::string name, Seconds t, double value);
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void reset() { events_.clear(); }
+
+  /// Serializes {"traceEvents":[...]} (the JSON-object form of the format).
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+  /// Returns false when the file could not be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace bc::obs

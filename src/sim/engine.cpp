@@ -1,10 +1,23 @@
 #include "sim/engine.hpp"
 
+#include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_writer.hpp"
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 
 namespace bc::sim {
+
+Engine::Engine() {
+  Logger::instance().set_time_provider([this] { return now_; }, this);
+}
+
+Engine::~Engine() {
+  Logger::instance().clear_time_provider(this);
+}
 
 EventId Engine::schedule_at(Seconds t, EventFn fn) {
   BC_ASSERT_MSG(t >= now_, "cannot schedule events in the past");
@@ -46,6 +59,15 @@ bool Engine::step() {
     BC_ASSERT(ev.time >= now_);
     now_ = ev.time;
     ++processed_;
+    BC_OBS_SCOPE("sim.dispatch");
+    static obs::Counter& dispatched =
+        obs::Registry::instance().counter("sim.events_dispatched");
+    dispatched.inc();
+    const bool is_periodic = periodics_.contains(ev.id);
+    if (auto& tracer = obs::Tracer::instance(); tracer.enabled()) {
+      tracer.instant(is_periodic ? "periodic" : "event", "engine", now_,
+                     {{"id", std::to_string(ev.id)}});
+    }
     if (auto periodic = periodics_.find(ev.id); periodic != periodics_.end()) {
       // Re-arm before running so the callback may cancel itself.
       queue_.push(Event{now_ + periodic->second.period, ev.id});

@@ -24,6 +24,18 @@ class Engine {
  public:
   using EventFn = std::function<void()>;
 
+  /// Installs this engine's clock as the logger's sim-time provider for
+  /// the engine's lifetime (the most recently constructed engine wins),
+  /// so BC_LOG lines carry a [t=...] prefix correlating with obs traces.
+  Engine();
+  ~Engine();
+
+  // Callbacks and the logger provider capture `this`.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  Engine(Engine&&) = delete;
+  Engine& operator=(Engine&&) = delete;
+
   /// Current simulation time. Starts at 0.
   Seconds now() const { return now_; }
 

@@ -5,10 +5,38 @@
 
 namespace bc {
 
-void Logger::log(LogLevel level, const std::string& message) {
+void Logger::set_time_provider(TimeFn fn, const void* owner) {
+  time_fn_ = std::move(fn);
+  time_owner_ = owner;
+}
+
+void Logger::clear_time_provider(const void* owner) {
+  if (time_owner_ != owner) return;
+  time_fn_ = nullptr;
+  time_owner_ = nullptr;
+}
+
+std::string Logger::format_line(LogLevel level, const char* component,
+                                const std::string& message) const {
   static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
-  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
-               message.c_str());
+  std::string line;
+  if (time_fn_) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[t=%.3f] ", time_fn_());
+    line += buf;
+  }
+  line += '[';
+  line += component;
+  line += "] [";
+  line += kNames[static_cast<int>(level)];
+  line += "] ";
+  line += message;
+  return line;
+}
+
+void Logger::log(LogLevel level, const char* component,
+                 const std::string& message) {
+  std::fprintf(stderr, "%s\n", format_line(level, component, message).c_str());
 }
 
 namespace detail {

@@ -125,7 +125,7 @@ TEST(Adversaries, HonestWorldHasNoDroppedRecords) {
   const auto& msg = sim.metrics().messages;
   EXPECT_GT(msg.records_applied, 0u);
   // Dropped records exist (own-edge claims) but are a minority.
-  EXPECT_LT(msg.records_dropped, msg.records_applied);
+  EXPECT_LT(msg.records_dropped(), msg.records_applied);
 }
 
 }  // namespace

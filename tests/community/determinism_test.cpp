@@ -59,7 +59,7 @@ std::string fingerprint(const Metrics& m) {
     out << '\n';
   }
   out << m.messages.messages_sent << ',' << m.messages.messages_received << ','
-      << m.messages.records_applied << ',' << m.messages.records_dropped << ','
+      << m.messages.records_applied << ',' << m.messages.records_dropped() << ','
       << m.messages.gossip_exchanges << '\n';
   return out.str();
 }
