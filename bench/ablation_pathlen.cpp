@@ -40,10 +40,12 @@ Result run_mode(bartercast::MaxflowMode mode, int max_path_edges) {
   cfg.node.reputation.max_path_edges = max_path_edges;
   cfg.reputation_probe_interval = 4.0 * kHour;
 
+  // bc-analyze: allow(D2) -- benchmark wall-time measurement around the run; never feeds simulation state
   const auto start = std::chrono::steady_clock::now();
   community::CommunitySimulator sim(trace::generate(tcfg), cfg);
   sim.run();
   const double wall =
+      // bc-analyze: allow(D2) -- benchmark wall-time measurement; never feeds simulation state
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return Result{analysis::contribution_correlation(sim.metrics()),

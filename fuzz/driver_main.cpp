@@ -1,0 +1,54 @@
+// Standalone replay driver for the fuzz harnesses.
+//
+// With a libFuzzer-capable compiler (Clang) the harnesses link against
+// -fsanitize=fuzzer and this file is not compiled in. Under GCC (which has
+// no libFuzzer runtime) this main() replays corpus files or directories
+// through LLVMFuzzerTestOneInput, so the same ctest smoke commands work
+// with either toolchain. libFuzzer-style dash options are ignored to keep
+// the command lines interchangeable.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // libFuzzer option: not an input
+    const fs::path p(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::directory_iterator(p, ec)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      inputs.push_back(p);
+    } else {
+      std::fprintf(stderr, "driver: no such input: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  for (const auto& path : inputs) {
+    const auto bytes = read_file(path);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("driver: replayed %zu input(s)\n", inputs.size());
+  return 0;
+}

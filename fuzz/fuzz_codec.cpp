@@ -1,0 +1,43 @@
+// Fuzz harness for the BarterCast wire codec (bartercast/codec.cpp).
+//
+// Properties enforced on every input decode() accepts:
+//   1. Canonical form: encode(decode(bytes)) == bytes. The format has no
+//      redundant representations, so any accepted byte string must be
+//      exactly what the encoder emits.
+//   2. Round-trip: decoding the re-encoded bytes succeeds and yields a
+//      message equal field-for-field to the first decode.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "bartercast/codec.hpp"
+#include "bartercast/message.hpp"
+
+namespace {
+void require(bool ok) {
+  if (!ok) std::abort();
+}
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace bc::bartercast;
+  const std::span<const std::uint8_t> in(data, size);
+  const auto msg = decode(in);
+  if (!msg.has_value()) return 0;
+
+  const std::vector<std::uint8_t> bytes = encode(*msg);
+  require(bytes.size() == size);
+  require(std::equal(bytes.begin(), bytes.end(), data));
+
+  const auto again = decode(bytes);
+  require(again.has_value());
+  require(again->sender == msg->sender);
+  // Exact bit equality is the contract here: the timestamp travels through
+  // memcpy, never arithmetic (NaN is rejected at decode, so == is sound).
+  require(again->sent_at == msg->sent_at);
+  require(again->records == msg->records);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fuzz harness for the command-line flag parser (util/flags.cpp).
+//
+// The input is split into argv tokens on newlines/NULs and fed through
+// Flags::parse plus every typed accessor. The parser must never crash or
+// trip a sanitizer, whatever the token soup; diagnostics on stderr are
+// expected for rejected input.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 4096) return 0;
+  std::vector<std::string> tokens;
+  std::string current;
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n' || c == '\0') {
+      if (!current.empty()) tokens.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  if (tokens.size() > 64) return 0;
+
+  std::vector<const char*> argv;
+  argv.push_back("fuzz_flags");
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+
+  static const std::map<std::string, std::string> allowed = {
+      {"seed", "rng seed"},
+      {"peers", "peer count"},
+      {"rate", "upload rate"},
+      {"verbose", "verbose output"},
+  };
+  auto flags =
+      bc::Flags::parse(static_cast<int>(argv.size()), argv.data(), allowed);
+  if (!flags.has_value()) return 0;
+  (void)flags->has("seed");
+  (void)flags->get("seed", "");
+  (void)flags->get_int("seed", 0);
+  (void)flags->get_int("peers", 0);
+  (void)flags->get_double("rate", 0.0);
+  (void)flags->get_bool("verbose", false);
+  (void)flags->positional();
+  (void)flags->valid();
+  return 0;
+}

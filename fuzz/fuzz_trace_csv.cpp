@@ -1,0 +1,34 @@
+// Fuzz harness for the trace CSV reader (trace/csv.cpp).
+//
+// Any text from_csv() accepts has already passed Trace::validate(); it
+// must then round-trip: to_csv() of the parsed trace parses again and
+// re-serializes byte-identically.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "trace/csv.hpp"
+
+namespace {
+void require(bool ok) {
+  if (!ok) std::abort();
+}
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace bc::trace;
+  if (size > (1u << 16)) return 0;  // keep single replays fast
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  std::string error;
+  const auto trace = from_csv(text, &error);
+  if (!trace.has_value()) return 0;
+
+  const std::string csv = to_csv(*trace);
+  std::string error2;
+  const auto again = from_csv(csv, &error2);
+  require(again.has_value());
+  require(to_csv(*again) == csv);
+  return 0;
+}

@@ -1,0 +1,52 @@
+"""bc-analyze: BarterCast-specific determinism & byte-accounting analyzer.
+
+Rule catalogue (see DESIGN.md section 9):
+
+  D1 unordered-iteration  iteration over std::unordered_map/unordered_set
+                          must go through bc::util::sorted_view (or be
+                          suppressed with a reason explaining why iteration
+                          order cannot reach gossip selection, reputation
+                          evaluation, or serialized output)
+  D2 wall-clock           no wall-clock time sources outside src/obs/ and
+                          src/util/logging.*; simulation code uses Engine
+                          time so runs replay bit-identically
+  D3 unseeded-random      no std::random_device / libc rand / std::<random>
+                          engines outside src/util/rng.*; all randomness
+                          flows through the seeded bc::Rng
+  B1 byte-narrowing       no narrowing or sign-changing casts on
+                          byte-counter (Bytes) expressions: the uint64/int64
+                          upload-download ledgers behind c(i,j) and the
+                          Eq. 1 maxflow capacities must never silently
+                          truncate or wrap
+  B2 float-equality       no ==/!= on reputation/time floating-point
+                          values; use explicit thresholds or restructure
+                          comparators to use </> only
+  SUP bad-suppression     a `// bc-analyze: allow(...)` marker that names an
+                          unknown rule or omits the mandatory `-- reason`
+
+Suppression syntax, on the offending line or a comment line directly above:
+
+  // bc-analyze: allow(D1) -- result is fully re-sorted with a total order
+  // bc-analyze: allow(D2,B2) -- wall-clock display only, never in sim state
+"""
+
+__version__ = "1.0"
+
+RULES = {
+    "D1": "unordered-iteration",
+    "D2": "wall-clock",
+    "D3": "unseeded-random",
+    "B1": "byte-narrowing",
+    "B2": "float-equality",
+    "SUP": "bad-suppression",
+}
+
+#: Paths (relative to the repo root, prefix-matched) exempt per rule: the
+#: sanctioned implementation of each facility lives here.
+RULE_EXEMPT_PREFIXES = {
+    "D1": ("src/util/sorted_view.hpp",),
+    "D2": ("src/obs/", "src/util/logging.hpp", "src/util/logging.cpp"),
+    "D3": ("src/util/rng.hpp", "src/util/rng.cpp"),
+    "B1": (),
+    "B2": (),
+}

@@ -1,0 +1,141 @@
+"""Optional clang AST frontend.
+
+When a clang capable of `-Xclang -ast-dump=json` is installed, bc-analyze
+re-checks rule D1 with real type information: every CXXForRangeStmt whose
+range expression has an unordered_map/unordered_set type is reported, with
+no reliance on the token frontend's name tables. Findings are merged with
+the token frontend's by (path, line, rule), so the two can only add
+coverage, never double-report.
+
+The frontend consumes the CMake-exported compile_commands.json so each TU
+is parsed with its real include paths and language standard. Machines
+without clang (or where the dump fails) fall back to tokens-only analysis;
+the engine reports which frontends ran.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import shutil
+import subprocess
+from pathlib import Path
+
+from bc_analyze.model import Finding
+
+CLANG_CANDIDATES = (
+    "clang++", "clang++-19", "clang++-18", "clang++-17", "clang++-16",
+    "clang++-15", "clang++-14", "clang",
+)
+
+
+def find_clang() -> str | None:
+    for name in CLANG_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir: Path) -> list[dict]:
+    db = build_dir / "compile_commands.json"
+    if not db.is_file():
+        return []
+    try:
+        return json.loads(db.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return []
+
+
+def _dump_args(entry: dict) -> list[str]:
+    """Reconstructs a -fsyntax-only AST-dump command from a DB entry."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry.get("command", ""))
+    kept: list[str] = []
+    skip_next = False
+    for arg in argv[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-c", "-o"):
+            skip_next = arg == "-o"
+            continue
+        if arg.startswith("-o"):
+            continue
+        # Drop GCC-only warning flags clang may not know.
+        if arg.startswith("-W"):
+            continue
+        kept.append(arg)
+    return kept + ["-w", "-fsyntax-only", "-Xclang", "-ast-dump=json"]
+
+
+def _walk(node: dict, path: str, findings: list[Finding],
+          state: dict) -> None:
+    kind = node.get("kind")
+    loc = node.get("loc") or {}
+    # `file`/`line` keys appear only when they change relative to the
+    # previous node in the dump, so carry them as running state.
+    loc_file = loc.get("file") or (loc.get("spellingLoc") or {}).get("file")
+    if loc_file is not None:
+        state["file"] = loc_file
+    loc_line = loc.get("line") or (loc.get("spellingLoc") or {}).get("line")
+    if loc_line is not None:
+        state["line"] = loc_line
+    if kind == "CXXForRangeStmt" and state.get("file", "").endswith(path):
+        line = state.get("line", 0)
+        if _range_is_unordered(node):
+            findings.append(Finding(
+                rule="D1", slug="unordered-iteration", path=path, line=line,
+                message=("range-for over a std::unordered_map/unordered_set"
+                         " (clang AST): iteration order is"
+                         " implementation-defined; wrap the range in"
+                         " bc::util::sorted_view(...) or suppress with a"
+                         " reason"),
+            ))
+    for child in node.get("inner", []) or []:
+        if isinstance(child, dict):
+            _walk(child, path, findings, state)
+
+
+def _range_is_unordered(for_node: dict) -> bool:
+    # The range initializer is the first DeclStmt child (__range1); look
+    # for an unordered container in its declared type.
+    for child in for_node.get("inner", []) or []:
+        if not isinstance(child, dict):
+            continue
+        text = json.dumps(child.get("type", {})) if child.get("type") else ""
+        if "unordered_map" in text or "unordered_set" in text:
+            if "sorted_view" not in text and "SortedView" not in text:
+                return True
+        if child.get("kind") == "DeclStmt":
+            blob = json.dumps(child)
+            if (("unordered_map" in blob or "unordered_set" in blob)
+                    and "SortedView" not in blob):
+                return True
+            return False
+    return False
+
+
+def analyze_tu(clang: str, entry: dict, rel: str) -> list[Finding] | None:
+    """D1 findings for one TU, or None when the dump fails."""
+    cmd = [clang] + _dump_args(entry)
+    try:
+        proc = subprocess.run(
+            cmd, cwd=entry.get("directory", "."), capture_output=True,
+            text=True, timeout=300)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0 or not proc.stdout.strip():
+        return None
+    try:
+        root = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+    findings: list[Finding] = []
+    _walk(root, rel, findings, state={})
+    # Only keep findings the dump attributes to this TU's own file: the AST
+    # includes every header; headers are analyzed via their own relpath by
+    # the caller filtering on `path`.
+    return findings

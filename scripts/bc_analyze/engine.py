@@ -1,0 +1,267 @@
+"""Analysis orchestration: file collection, frontends, suppression, output."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from bc_analyze import RULES, RULE_EXEMPT_PREFIXES, __version__
+from bc_analyze import clang_frontend
+from bc_analyze.model import Finding
+from bc_analyze.rules_bytes import check_b1, check_b2
+from bc_analyze.rules_determinism import check_d1, check_d2, check_d3
+from bc_analyze.source import SourceFile, load_source
+
+DEFAULT_PATHS = ["src", "bench", "examples"]
+
+
+def collect_files(repo_root: Path, paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for arg in paths:
+        p = Path(arg) if Path(arg).is_absolute() else repo_root / arg
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.hpp")))
+            files.extend(sorted(p.rglob("*.cpp")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"bc-analyze: no such path: {arg}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def relpath(path: Path, repo_root: Path) -> str:
+    try:
+        return path.resolve().relative_to(repo_root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _exempt(rule: str, rel: str) -> bool:
+    return any(rel.startswith(p) for p in RULE_EXEMPT_PREFIXES.get(rule, ()))
+
+
+class Analysis:
+    def __init__(self, repo_root: Path):
+        self.repo_root = repo_root
+        self.sources: list[SourceFile] = []
+        # Cross-file name tables: member declarations live in headers while
+        # the loops and casts that use them live in .cpp files.
+        self.global_unordered: set[str] = set()
+        self.global_unordered_fns: set[str] = set()
+        self.global_subscript: set[str] = set()
+        self.global_ordered: set[str] = set()
+        self.global_floats: set[str] = set()
+        self.global_bytes: set[str] = set()
+        self.frontends = ["tokens"]
+
+    def load(self, files: list[Path]) -> None:
+        known = set(RULES)
+        for f in files:
+            sf = load_source(f, relpath(f, self.repo_root), known)
+            self.sources.append(sf)
+            self.global_unordered |= sf.unordered_vars
+            self.global_unordered_fns |= sf.unordered_fns
+            self.global_subscript |= sf.unordered_element_containers
+            self.global_ordered |= sf.ordered_vars
+            self.global_floats |= sf.float_vars
+            self.global_bytes |= sf.bytes_vars
+
+    def _companion(self, sf: SourceFile) -> SourceFile | None:
+        """The .hpp for a .cpp (and vice versa): member declarations live in
+        the header while the loops and casts that use them live in the
+        implementation file, so the pair shares one symbol table."""
+        by_rel = {s.rel: s for s in self.sources}
+        if sf.rel.endswith(".cpp"):
+            return by_rel.get(sf.rel[:-4] + ".hpp")
+        if sf.rel.endswith(".hpp"):
+            return by_rel.get(sf.rel[:-4] + ".cpp")
+        return None
+
+    def run_token_rules(self) -> list[Finding]:
+        # Names that different files declare with conflicting types are
+        # ambiguous; drop them from the cross-file tables rather than guess.
+        ambiguous = self.global_bytes & self.global_floats
+        xfile_bytes = self.global_bytes - ambiguous
+        xfile_floats = self.global_floats - ambiguous
+        xfile_unordered = self.global_unordered - self.global_ordered
+        findings: list[Finding] = []
+        for sf in self.sources:
+            comp = self._companion(sf)
+
+            def merged(attr: str, c=comp, s=sf) -> set[str]:
+                out = set(getattr(s, attr))
+                if c is not None:
+                    out |= getattr(c, attr)
+                return out
+
+            l_unordered = merged("unordered_vars")
+            l_ordered = merged("ordered_vars") - l_unordered
+            d1_names = l_unordered | (xfile_unordered - l_ordered)
+            d1_fns = merged("unordered_fns") | self.global_unordered_fns
+            d1_subs = (merged("unordered_element_containers")
+                       | self.global_subscript)
+            l_floats = merged("float_vars")
+            l_bytes = merged("bytes_vars")
+            l_ints = merged("int_vars")
+            per_rule = {
+                "D1": lambda s=sf: check_d1(s, d1_names, d1_fns, d1_subs),
+                "D2": lambda s=sf: check_d2(s),
+                "D3": lambda s=sf: check_d3(s),
+                "B1": lambda s=sf: check_b1(
+                    s, l_bytes, (l_ints | l_floats) - l_bytes, xfile_bytes),
+                "B2": lambda s=sf: check_b2(
+                    s, l_floats, (l_ints | l_bytes) - l_floats, xfile_floats),
+            }
+            for rule, run in per_rule.items():
+                if _exempt(rule, sf.rel):
+                    continue
+                findings.extend(run())
+            for lineno, why in sf.bad_suppressions:
+                findings.append(Finding(
+                    rule="SUP", slug="bad-suppression", path=sf.rel,
+                    line=lineno, message=why))
+        return findings
+
+    def run_clang_rules(self, build_dir: Path | None) -> list[Finding]:
+        clang = clang_frontend.find_clang()
+        if clang is None or build_dir is None:
+            return []
+        entries = clang_frontend.load_compile_db(build_dir)
+        if not entries:
+            return []
+        wanted = {sf.rel for sf in self.sources}
+        findings: list[Finding] = []
+        used = False
+        for entry in entries:
+            rel = relpath(Path(entry.get("directory", "."))
+                          / entry.get("file", ""), self.repo_root)
+            if rel not in wanted or _exempt("D1", rel):
+                continue
+            tu = clang_frontend.analyze_tu(clang, entry, rel)
+            if tu is None:
+                continue
+            used = True
+            findings.extend(f for f in tu if not _exempt("D1", f.path))
+        if used:
+            self.frontends.append("clang-ast")
+        return findings
+
+    def apply_suppressions(
+            self, findings: list[Finding]) -> list[Finding]:
+        by_file: dict[str, SourceFile] = {sf.rel: sf for sf in self.sources}
+        kept: list[Finding] = []
+        for f in findings:
+            if f.rule == "SUP":
+                kept.append(f)  # bad markers cannot be suppressed
+                continue
+            sf = by_file.get(f.path)
+            sup = None
+            if sf is not None:
+                sup = next(
+                    (s for s in sf.suppressions if s.covers(f.rule, f.line)),
+                    None)
+            if sup is not None:
+                sup.used = True
+                continue
+            kept.append(f)
+        return kept
+
+
+def _dedupe(findings: list[Finding]) -> list[Finding]:
+    seen: set[tuple] = set()
+    out: list[Finding] = []
+    for f in sorted(findings, key=Finding.sort_key):
+        key = (f.path, f.line, f.rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(f)
+    return out
+
+
+def list_rules() -> str:
+    lines = ["bc-analyze rule catalogue:"]
+    for rule, slug in RULES.items():
+        exempt = RULE_EXEMPT_PREFIXES.get(rule, ())
+        suffix = f"  (exempt: {', '.join(exempt)})" if exempt else ""
+        lines.append(f"  {rule:4} {slug}{suffix}")
+    lines.append(
+        "suppress with: // bc-analyze: allow(<rule>[,<rule>]) -- <reason>")
+    return "\n".join(lines)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bc_analyze.py",
+        description=("BarterCast determinism & byte-accounting static"
+                     " analyzer (rules D1-D3, B1-B2)"))
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to analyze"
+                             " (default: src bench examples)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build tree holding compile_commands.json for"
+                             " the clang AST frontend (default: probe"
+                             " build/release, build)")
+    parser.add_argument("--frontend", choices=["auto", "tokens", "clang"],
+                        default="auto",
+                        help="force a frontend; `clang` fails hard when"
+                             " clang or the compilation database is missing")
+    parser.add_argument("--github", action="store_true",
+                        help="emit GitHub annotation commands")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--version", action="version",
+                        version=f"bc-analyze {__version__}")
+    return parser
+
+
+def run(argv: list[str], repo_root: Path) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    paths = args.paths or DEFAULT_PATHS
+    files = collect_files(repo_root, paths)
+    analysis = Analysis(repo_root)
+    analysis.load(files)
+
+    findings = []
+    if args.frontend in ("auto", "tokens"):
+        findings.extend(analysis.run_token_rules())
+    if args.frontend in ("auto", "clang"):
+        build_dir = None
+        if args.build_dir:
+            build_dir = Path(args.build_dir)
+            if not build_dir.is_absolute():
+                build_dir = repo_root / build_dir
+        else:
+            for candidate in ("build/release", "build"):
+                if (repo_root / candidate / "compile_commands.json").is_file():
+                    build_dir = repo_root / candidate
+                    break
+        clang_findings = analysis.run_clang_rules(build_dir)
+        if args.frontend == "clang" and "clang-ast" not in analysis.frontends:
+            print("bc-analyze: --frontend=clang but clang or"
+                  " compile_commands.json is unavailable", file=sys.stderr)
+            return 2
+        findings.extend(clang_findings)
+
+    findings = analysis.apply_suppressions(findings)
+    findings = _dedupe(findings)
+
+    for f in findings:
+        print(f.github() if args.github else f.human())
+    n_sup = sum(
+        1 for sf in analysis.sources for s in sf.suppressions if s.used)
+    summary = (f"bc-analyze: {len(findings)} finding(s) in {len(files)}"
+               f" files ({'+'.join(analysis.frontends)} frontend,"
+               f" {n_sup} suppression(s) honored)")
+    if findings:
+        print(summary, file=sys.stderr)
+        return 1
+    print(summary.replace("0 finding(s)", "OK, 0 findings"),
+          file=sys.stderr)
+    return 0

@@ -42,6 +42,9 @@ USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+")
 EXEMPT = {
     "raw-assert": {"src/util/assert.hpp"},
     "assert-include": {"src/util/assert.hpp"},
+    # bc-analyze's intentionally-bad fixture exercises rule D3 with libc
+    # rand(); it is analyzer test data, never compiled into the project.
+    "libc-rand": {"tests/analysis_tool/fixtures/bad/d3_random.cpp"},
 }
 
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Static-analysis runner: clang-tidy (when available) over the whole tree,
-# then the repo-convention checker. Both must be clean for the script to
-# exit 0; CI runs this as a gating job.
+# then the repo-convention checker, then bc-analyze (the project-specific
+# determinism & byte-accounting analyzer). All stages must be clean for the
+# script to exit 0; CI runs this as a gating job.
 #
 # Usage:
 #   scripts/lint.sh [--build-dir DIR] [--strict] [paths...]
@@ -92,6 +93,13 @@ fi
 
 # --- stage 2: repo conventions ----------------------------------------------
 if ! python3 scripts/check_conventions.py "${paths[@]}"; then
+  status=1
+fi
+
+# --- stage 3: bc-analyze (determinism & byte accounting) ----------------------
+# bc-analyze owns its scope (src bench examples): tests/ contains the
+# analyzer's intentionally-bad fixtures, so the lint paths are not forwarded.
+if ! python3 scripts/bc_analyze.py; then
   status=1
 fi
 

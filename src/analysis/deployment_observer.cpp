@@ -78,6 +78,7 @@ ObserverResult run_observer(const trace::DeploymentPopulation& population,
       const auto it = std::lower_bound(cum.begin(), cum.end(), r);
       chosen.insert(static_cast<PeerId>(it - cum.begin()));
     }
+    // bc-analyze: allow(D1) -- set contents are fully re-sorted on the next line
     partners.assign(chosen.begin(), chosen.end());
     std::sort(partners.begin(), partners.end());
   }

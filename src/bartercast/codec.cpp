@@ -1,6 +1,7 @@
 #include "bartercast/codec.hpp"
 
 #include <bit>
+#include <cmath>
 #include <type_traits>
 #include <cstring>
 
@@ -64,7 +65,9 @@ std::vector<std::uint8_t> encode(const BarterCastMessage& message) {
     BC_ASSERT(r.subject_to_other >= 0 && r.other_to_subject >= 0);
     put<std::uint32_t>(out, r.subject);
     put<std::uint32_t>(out, r.other);
+    // bc-analyze: allow(B1) -- wire format stores amounts as u64; value asserted non-negative above, so the cast is value-preserving
     put<std::uint64_t>(out, static_cast<std::uint64_t>(r.subject_to_other));
+    // bc-analyze: allow(B1) -- wire format stores amounts as u64; value asserted non-negative above, so the cast is value-preserving
     put<std::uint64_t>(out, static_cast<std::uint64_t>(r.other_to_subject));
   }
   return out;
@@ -81,7 +84,7 @@ std::optional<BarterCastMessage> decode(std::span<const std::uint8_t> data) {
   msg.sender = sender;
   if (!get(data, msg.sent_at)) return std::nullopt;
   // NaN/inf timestamps are malformed (they would poison time comparisons).
-  if (!(msg.sent_at == msg.sent_at) ||
+  if (std::isnan(msg.sent_at) ||
       msg.sent_at > 1e18 || msg.sent_at < -1e18) {
     return std::nullopt;
   }

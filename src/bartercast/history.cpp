@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/sorted_view.hpp"
 
 namespace bc::bartercast {
 
@@ -46,6 +47,7 @@ Bytes PrivateHistory::downloaded_from(PeerId remote) const {
 std::vector<PeerId> PrivateHistory::top_uploaders(std::size_t n) const {
   std::vector<const HistoryEntry*> all;
   all.reserve(entries_.size());
+  // bc-analyze: allow(D1) -- pointers are fully re-sorted below under a total order (downloaded desc, peer asc)
   for (const auto& [_, e] : entries_) all.push_back(&e);
   std::sort(all.begin(), all.end(),
             [](const HistoryEntry* a, const HistoryEntry* b) {
@@ -65,12 +67,14 @@ std::vector<PeerId> PrivateHistory::top_uploaders(std::size_t n) const {
 std::vector<PeerId> PrivateHistory::most_recent(std::size_t n) const {
   std::vector<const HistoryEntry*> all;
   all.reserve(entries_.size());
+  // bc-analyze: allow(D1) -- pointers are fully re-sorted below under a total order (last_seen desc, peer asc)
   for (const auto& [_, e] : entries_) all.push_back(&e);
   std::sort(all.begin(), all.end(),
             [](const HistoryEntry* a, const HistoryEntry* b) {
-              if (a->last_seen != b->last_seen) {
-                return a->last_seen > b->last_seen;
-              }
+              // </> instead of != keeps the exact-tie branch explicit: equal
+              // timestamps fall through to the peer-id total order.
+              if (a->last_seen > b->last_seen) return true;
+              if (a->last_seen < b->last_seen) return false;
               return a->peer < b->peer;
             });
   std::vector<PeerId> out;
@@ -84,7 +88,7 @@ std::vector<PeerId> PrivateHistory::most_recent(std::size_t n) const {
 std::vector<HistoryEntry> PrivateHistory::entries() const {
   std::vector<HistoryEntry> out;
   out.reserve(entries_.size());
-  for (const auto& [_, e] : entries_) out.push_back(e);
+  for (const auto& [_, e] : util::sorted_view(entries_)) out.push_back(e);
   return out;
 }
 

@@ -53,7 +53,8 @@ class PrivateHistory {
   /// the lower peer id.
   std::vector<PeerId> most_recent(std::size_t n) const;
 
-  /// Snapshot of all entries, unordered.
+  /// Snapshot of all entries, sorted by peer id (deterministic across runs
+  /// and standard-library implementations).
   std::vector<HistoryEntry> entries() const;
 
   const HistoryEntry* find(PeerId remote) const;

@@ -67,6 +67,7 @@ void save_node(const Node& node, std::ostream& os) {
   std::vector<Edge> edges;
   for (PeerId from : graph.nodes()) {
     if (from == node.id()) continue;
+    // bc-analyze: allow(D1) -- edges are fully re-sorted below under the (from, to) total order before serialization
     for (const auto& [to, amount] : graph.out_edges(from)) {
       if (to == node.id()) continue;
       edges.push_back({from, to, amount});

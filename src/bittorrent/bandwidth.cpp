@@ -27,6 +27,7 @@ std::vector<Rate> allocate_rates(
 
   // Pass 2: proportional scale-down at oversubscribed downlinks.
   std::unordered_map<PeerId, double> scale;
+  // bc-analyze: allow(D1) -- writes one key-indexed entry per peer; no cross-iteration state, order-independent
   for (const auto& [peer, sum] : in_sum) {
     const AccessProfile p = profile(peer);
     BC_ASSERT(p.downlink >= 0.0);

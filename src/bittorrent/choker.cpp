@@ -27,7 +27,10 @@ std::vector<PeerId> pick_regular_unchokes(
   }
   std::sort(eligible.begin(), eligible.end(),
             [](const UnchokeCandidate* a, const UnchokeCandidate* b) {
-              if (a->rate != b->rate) return a->rate > b->rate;
+              // </> instead of != keeps the exact-tie branch explicit: equal
+              // rates fall through to the peer-id total order.
+              if (a->rate > b->rate) return true;
+              if (a->rate < b->rate) return false;
               return a->peer < b->peer;
             });
   std::vector<PeerId> out;
@@ -62,17 +65,24 @@ PeerId OptimisticRotator::pick(std::span<const UnchokeCandidate> candidates,
       better = true;
     } else if (policy.ranked_optimistic()) {
       // Rank policy: reputation first; round-robin age breaks ties so equal
-      // (e.g. all-zero) reputations still rotate fairly.
-      if (c.reputation != best->reputation) {
-        better = c.reputation > best->reputation;
-      } else if (served != best_served) {
-        better = served < best_served;
+      // (e.g. all-zero) reputations still rotate fairly. </> comparisons
+      // keep every exact-tie branch explicit.
+      if (c.reputation > best->reputation) {
+        better = true;
+      } else if (c.reputation < best->reputation) {
+        better = false;
+      } else if (served < best_served) {
+        better = true;
+      } else if (served > best_served) {
+        better = false;
       } else {
         better = c.peer < best->peer;
       }
     } else {
-      if (served != best_served) {
-        better = served < best_served;
+      if (served < best_served) {
+        better = true;
+      } else if (served > best_served) {
+        better = false;
       } else {
         better = c.peer < best->peer;
       }

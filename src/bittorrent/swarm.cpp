@@ -29,6 +29,7 @@ void Swarm::remove_peer(PeerId peer) {
   availability_.remove_bitfield(it->second.have);
   // Drop all links involving the peer. Where the peer was the uploader, the
   // downloader's in-flight piece is released back to the pool.
+  // bc-analyze: allow(D1) -- erase-walk touches disjoint per-link state; the surviving set is order-independent
   for (auto link_it = links_.begin(); link_it != links_.end();) {
     const PeerId from = static_cast<PeerId>(link_it->first >> 32);
     const PeerId to = static_cast<PeerId>(link_it->first & 0xffffffffu);
@@ -47,6 +48,7 @@ void Swarm::remove_peer(PeerId peer) {
 std::vector<PeerId> Swarm::members() const {
   std::vector<PeerId> out;
   out.reserve(members_.size());
+  // bc-analyze: allow(D1) -- ids are fully re-sorted on the next line
   for (const auto& [peer, _] : members_) out.push_back(peer);
   std::sort(out.begin(), out.end());  // deterministic iteration for callers
   return out;
@@ -124,6 +126,7 @@ Bytes Swarm::transfer(PeerId uploader, PeerId downloader, Bytes budget) {
       link.piece_progress = 0;
       if (down.have.complete()) {
         // Other links fetching for this peer are now moot; release them.
+        // bc-analyze: allow(D1) -- per-link resets touch disjoint state; final state is order-independent
         for (auto& [key, other] : links_) {
           const PeerId to = static_cast<PeerId>(key & 0xffffffffu);
           if (to == downloader && other.piece >= 0) {
@@ -151,6 +154,7 @@ void Swarm::release_link(PeerId uploader, PeerId downloader) {
 }
 
 void Swarm::end_round() {
+  // bc-analyze: allow(D1) -- per-link counter rollover; disjoint state, order-independent
   for (auto& [_, link] : links_) {
     link.last_round_bytes = link.round_bytes;
     link.round_bytes = 0;
@@ -165,6 +169,7 @@ Bytes Swarm::last_round_bytes(PeerId from, PeerId to) const {
 bool Swarm::check_invariants() const {
   // Availability must equal the sum of member bitfields.
   std::vector<int> counts(static_cast<std::size_t>(torrent_.num_pieces), 0);
+  // bc-analyze: allow(D1) -- commutative per-piece sum; order cannot change the counts
   for (const auto& [_, m] : members_) {
     for (int p = 0; p < m.have.size(); ++p) {
       if (m.have.get(p)) ++counts[static_cast<std::size_t>(p)];
@@ -175,6 +180,7 @@ bool Swarm::check_invariants() const {
       return false;
     }
   }
+  // bc-analyze: allow(D1) -- boolean all-of over links; a pure predicate, order cannot change the result
   for (const auto& [key, link] : links_) {
     const PeerId from = static_cast<PeerId>(key >> 32);
     const PeerId to = static_cast<PeerId>(key & 0xffffffffu);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "graph/maxflow.hpp"
+#include "util/sorted_view.hpp"
 
 namespace bc::check {
 
@@ -98,7 +99,8 @@ void check_ledger_conservation(
 
   Bytes sum_up = 0;
   Bytes sum_down = 0;
-  for (const auto& [owner, h] : by_owner) {
+  // Sorted so a run with several violations reports them in a stable order.
+  for (const auto& [owner, h] : util::sorted_view(by_owner)) {
     sum_up += h->total_uploaded();
     sum_down += h->total_downloaded();
     for (const auto& e : h->entries()) {
@@ -139,7 +141,7 @@ void check_ledger_conservation(
 void check_flow_graph(const graph::FlowGraph& graph, Report& report) {
   std::size_t edges = 0;
   for (PeerId node : graph.nodes()) {
-    for (const auto& [to, cap] : graph.out_edges(node)) {
+    for (const auto& [to, cap] : util::sorted_view(graph.out_edges(node))) {
       ++edges;
       if (cap <= 0) {
         report.fail("graph.capacity",
@@ -151,7 +153,7 @@ void check_flow_graph(const graph::FlowGraph& graph, Report& report) {
                                         " missing from the in-edge index");
       }
     }
-    for (PeerId from : graph.in_edges(node)) {
+    for (PeerId from : util::sorted_view(graph.in_edges(node))) {
       if (graph.capacity(from, node) <= 0) {
         report.fail("graph.mirror",
                     "in-edge index lists " + edge_str(from, node) +

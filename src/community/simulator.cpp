@@ -327,6 +327,7 @@ void CommunitySimulator::round() {
       consider(it->second.optimistic);
     }
     // Links that lost their unchoke release their in-flight piece.
+    // bc-analyze: allow(D1) -- per-link releases touch disjoint swarm state; final state is order-independent
     for (std::uint64_t key : ctx.prev_active) {
       if (!active_now.contains(key)) {
         const auto u = static_cast<PeerId>(key >> 32);
@@ -350,6 +351,7 @@ void CommunitySimulator::round() {
     const Bytes moved =
         swarms_[l.swarm]->swarm.transfer(l.uploader, l.downloader, budget);
     if (moved <= 0) continue;
+    // bc-analyze: allow(B1) -- metrics counter API takes u64; `moved` is checked positive on the previous line
     bytes_moved.inc(static_cast<std::uint64_t>(moved));
     peer(l.uploader).node->on_bytes_sent(l.downloader, moved, now);
     peer(l.downloader).node->on_bytes_received(l.uploader, moved, now);
@@ -371,6 +373,7 @@ void CommunitySimulator::round() {
   // Phase 5: seeding period expiry.
   for (auto& ctx : swarms_) {
     std::vector<PeerId> expired;
+    // bc-analyze: allow(D1) -- collected ids are fully re-sorted below before any state changes
     for (const auto& [p, until] : ctx->seed_until) {
       if (now >= until) expired.push_back(p);
     }

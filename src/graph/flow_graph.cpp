@@ -1,6 +1,7 @@
 #include "graph/flow_graph.hpp"
 
 #include "util/assert.hpp"
+#include "util/sorted_view.hpp"
 
 namespace bc::graph {
 
@@ -73,26 +74,28 @@ const std::unordered_set<PeerId>& FlowGraph::in_edges(PeerId node) const {
 }
 
 std::vector<PeerId> FlowGraph::nodes() const {
-  std::vector<PeerId> out;
-  out.reserve(out_.size());
-  for (const auto& [node, _] : out_) out.push_back(node);
-  return out;
+  // Key-sorted so every consumer (gossip selection, exports, audits) sees
+  // the same node order on every run and standard library.
+  return util::sorted_keys(out_);
 }
 
 Bytes FlowGraph::out_capacity(PeerId node) const {
   Bytes total = 0;
+  // bc-analyze: allow(D1) -- integer sum over all edges; addition over Bytes is commutative, order never escapes
   for (const auto& [_, cap] : out_edges(node)) total += cap;
   return total;
 }
 
 Bytes FlowGraph::in_capacity(PeerId node) const {
   Bytes total = 0;
+  // bc-analyze: allow(D1) -- integer sum over all in-edges; commutative, order never escapes
   for (PeerId from : in_edges(node)) total += capacity(from, node);
   return total;
 }
 
 Bytes FlowGraph::total_capacity() const {
   Bytes total = 0;
+  // bc-analyze: allow(D1) -- integer sum over every edge; commutative, order never escapes
   for (const auto& [_, adj] : out_) {
     for (const auto& [__, cap] : adj) total += cap;
   }
@@ -103,11 +106,13 @@ void FlowGraph::remove_node(PeerId node) {
   auto it = out_.find(node);
   if (it == out_.end()) return;
   // Drop outgoing edges and their reverse index entries.
+  // bc-analyze: allow(D1) -- per-edge erases touch disjoint entries; final state is order-independent
   for (const auto& [to, _] : it->second) {
     in_[to].erase(node);
     --num_edges_;
   }
   // Drop incoming edges.
+  // bc-analyze: allow(D1) -- per-edge erases touch disjoint entries; final state is order-independent
   for (PeerId from : in_[node]) {
     out_[from].erase(node);
     --num_edges_;
@@ -124,6 +129,7 @@ void FlowGraph::clear() {
 
 bool FlowGraph::check_invariants() const {
   std::size_t edges = 0;
+  // bc-analyze: allow(D1) -- boolean all-of over every edge; a pure predicate, order cannot change the result
   for (const auto& [from, adj] : out_) {
     if (!in_.contains(from)) return false;
     for (const auto& [to, cap] : adj) {
@@ -135,6 +141,7 @@ bool FlowGraph::check_invariants() const {
   }
   if (edges != num_edges_) return false;
   // Every in-edge must have a matching out-edge.
+  // bc-analyze: allow(D1) -- boolean all-of over the reverse index; order cannot change the result
   for (const auto& [to, preds] : in_) {
     for (PeerId from : preds) {
       auto out_it = out_.find(from);

@@ -39,7 +39,8 @@ class FlowGraph {
   /// Predecessors of `node` (nodes with a positive-capacity edge into it).
   const std::unordered_set<PeerId>& in_edges(PeerId node) const;
 
-  /// All node ids, unordered.
+  /// All node ids, sorted ascending (deterministic across runs and
+  /// standard-library implementations).
   std::vector<PeerId> nodes() const;
 
   /// Sum of capacities of all edges.

@@ -37,11 +37,13 @@ class Residual {
   /// forward out-edges plus any reverse edges created by augmentation.
   template <typename Fn>
   void for_each_residual_edge(PeerId u, Fn&& fn) const {
+    // bc-analyze: allow(D1) -- hot path: every caller collects the neighbours and re-sorts them by id before use
     for (const auto& [v, _] : g_.out_edges(u)) {
       const Bytes r = residual(u, v);
       if (r > 0) fn(v, r);
     }
     // Reverse edges exist only toward predecessors in the original graph.
+    // bc-analyze: allow(D1) -- hot path: every caller collects the neighbours and re-sorts them by id before use
     for (PeerId v : g_.in_edges(u)) {
       if (g_.capacity(u, v) > 0) continue;  // already visited as forward
       const Bytes r = residual(u, v);
@@ -161,6 +163,7 @@ Bytes max_flow_two_hop(const FlowGraph& g, PeerId s, PeerId t) {
   BC_OBS_SCOPE("maxflow.two_hop");
   if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
   Bytes flow = g.capacity(s, t);
+  // bc-analyze: allow(D1) -- commutative Bytes sum over disjoint two-hop paths; order cannot change the flow
   for (const auto& [v, cap_sv] : g.out_edges(s)) {
     if (v == t) continue;
     const Bytes cap_vt = g.capacity(v, t);

@@ -83,9 +83,11 @@ class Engine {
     Seconds time;
     EventId id;
     // Ordering for the min-heap: earliest time first, then lowest id, so
-    // same-time events run in the order they were scheduled.
+    // same-time events run in the order they were scheduled. </> instead
+    // of != keeps the exact-tie branch explicit.
     bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
+      if (time > other.time) return true;
+      if (time < other.time) return false;
       return id > other.id;
     }
   };

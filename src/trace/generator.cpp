@@ -100,7 +100,10 @@ Trace generate(const GeneratorConfig& cfg) {
   }
   std::sort(tr.requests.begin(), tr.requests.end(),
             [](const SwarmRequest& a, const SwarmRequest& b) {
-              if (a.at != b.at) return a.at < b.at;
+              // </> instead of != keeps the exact-tie branch explicit:
+              // equal times fall through to the (peer, swarm) total order.
+              if (a.at < b.at) return true;
+              if (a.at > b.at) return false;
               if (a.peer != b.peer) return a.peer < b.peer;
               return a.swarm < b.swarm;
             });

@@ -23,6 +23,7 @@ struct FileMeta {
   Bytes piece_size = 0;
 
   int num_pieces() const {
+    // bc-analyze: allow(B1) -- piece *count*, not a ledger amount: bounded by size/piece_size, far below 2^31 for any valid trace (validate() rejects piece_size <= 0)
     return static_cast<int>((size + piece_size - 1) / piece_size);
   }
   friend bool operator==(const FileMeta&, const FileMeta&) = default;

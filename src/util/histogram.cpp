@@ -46,6 +46,7 @@ std::vector<CdfPoint> empirical_cdf(std::span<const double> values) {
   for (std::size_t i = 0; i < n; ++i) {
     // Collapse runs of equal values into a single point carrying the
     // cumulative fraction up to and including the run.
+    // bc-analyze: allow(B2) -- exact equality is the point: only bit-identical sorted duplicates collapse; a tolerance would merge distinct values
     if (!out.empty() && out.back().value == sorted[i]) {
       out.back().fraction =
           static_cast<double>(i + 1) / static_cast<double>(n);

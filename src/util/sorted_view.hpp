@@ -1,0 +1,130 @@
+// Deterministic iteration over unordered containers.
+//
+// BarterCast's correctness argument requires that every peer derive the
+// same subjective graph from the same gossip, and that exports/serialized
+// output be byte-identical across runs and standard-library
+// implementations. Iterating a std::unordered_map/set directly gives an
+// implementation-defined order, so any loop whose iteration order can
+// reach gossip record selection, reputation evaluation, or serialized
+// output must go through sorted_view() (or collect-and-sort with a
+// total-order comparator). scripts/bc_analyze.py rule D1 enforces this
+// tree-wide.
+//
+// The view materializes a vector of pointers into the container and sorts
+// it by key (or by value for sets); iteration then yields stable
+// references into the original container. The container must outlive the
+// view and must not be rehashed while the view is alive.
+//
+//   for (const auto& [peer, entry] : bc::util::sorted_view(map)) ...
+//   for (PeerId p : bc::util::sorted_view(set)) ...
+//   std::vector<K> ks = bc::util::sorted_keys(map_or_set);
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace bc::util {
+
+namespace detail {
+
+/// Random-access iterator over a vector of element pointers that
+/// dereferences to the pointed-to element, so structured bindings work the
+/// same as on the underlying container.
+template <typename Value>
+class PtrIterator {
+ public:
+  using value_type = Value;
+  using reference = const Value&;
+  using pointer = const Value*;
+  using difference_type = std::ptrdiff_t;
+  using iterator_category = std::forward_iterator_tag;
+
+  PtrIterator() = default;
+  explicit PtrIterator(const Value* const* pos) : pos_(pos) {}
+
+  reference operator*() const { return **pos_; }
+  pointer operator->() const { return *pos_; }
+  PtrIterator& operator++() {
+    ++pos_;
+    return *this;
+  }
+  PtrIterator operator++(int) {
+    PtrIterator tmp = *this;
+    ++pos_;
+    return tmp;
+  }
+  friend bool operator==(PtrIterator, PtrIterator) = default;
+
+ private:
+  const Value* const* pos_ = nullptr;
+};
+
+template <typename Value>
+class SortedView {
+ public:
+  using const_iterator = PtrIterator<Value>;
+
+  explicit SortedView(std::vector<const Value*> items)
+      : items_(std::move(items)) {}
+
+  const_iterator begin() const { return const_iterator(items_.data()); }
+  const_iterator end() const {
+    return const_iterator(items_.data() + items_.size());
+  }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  std::vector<const Value*> items_;
+};
+
+}  // namespace detail
+
+/// Key-sorted view of an unordered_map. Yields const references to the
+/// map's own pair<const K, V> elements.
+template <typename K, typename V, typename H, typename E, typename A>
+detail::SortedView<typename std::unordered_map<K, V, H, E, A>::value_type>
+sorted_view(const std::unordered_map<K, V, H, E, A>& map) {
+  using Value = typename std::unordered_map<K, V, H, E, A>::value_type;
+  std::vector<const Value*> items;
+  items.reserve(map.size());
+  for (auto it = map.begin(); it != map.end(); ++it) items.push_back(&*it);
+  std::sort(items.begin(), items.end(),
+            [](const Value* a, const Value* b) { return a->first < b->first; });
+  return detail::SortedView<Value>(std::move(items));
+}
+
+/// Value-sorted view of an unordered_set.
+template <typename K, typename H, typename E, typename A>
+detail::SortedView<K> sorted_view(const std::unordered_set<K, H, E, A>& set) {
+  std::vector<const K*> items;
+  items.reserve(set.size());
+  for (auto it = set.begin(); it != set.end(); ++it) items.push_back(&*it);
+  std::sort(items.begin(), items.end(),
+            [](const K* a, const K* b) { return *a < *b; });
+  return detail::SortedView<K>(std::move(items));
+}
+
+/// Sorted copy of a map's keys.
+template <typename K, typename V, typename H, typename E, typename A>
+std::vector<K> sorted_keys(const std::unordered_map<K, V, H, E, A>& map) {
+  std::vector<K> keys;
+  keys.reserve(map.size());
+  for (auto it = map.begin(); it != map.end(); ++it) keys.push_back(it->first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Sorted copy of a set's elements.
+template <typename K, typename H, typename E, typename A>
+std::vector<K> sorted_keys(const std::unordered_set<K, H, E, A>& set) {
+  std::vector<K> keys;
+  keys.reserve(set.size());
+  for (auto it = set.begin(); it != set.end(); ++it) keys.push_back(*it);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace bc::util

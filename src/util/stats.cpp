@@ -84,6 +84,7 @@ double pearson(std::span<const double> x, std::span<const double> y) {
     sxx += dx * dx;
     syy += dy * dy;
   }
+  // bc-analyze: allow(B2) -- exact-zero guard before division: only a literally zero variance (constant input) is degenerate
   if (sxx == 0.0 || syy == 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
 }
@@ -126,6 +127,7 @@ LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
     sxy += (x[i] - mx) * (y[i] - my);
     sxx += (x[i] - mx) * (x[i] - mx);
   }
+  // bc-analyze: allow(B2) -- exact-zero guard before division: only a literally zero variance (constant input) is degenerate
   if (sxx == 0.0) return fit;
   fit.slope = sxy / sxx;
   fit.intercept = my - fit.slope * mx;

@@ -1,0 +1,17 @@
+// bc-analyze fixture: ==/!= on floating-point values (rule B2).
+
+bool same_reputation(double reputation, double target) {
+  return reputation == target;  // line 4
+}
+
+bool is_zero(double score) {
+  return score == 0.0;  // line 8
+}
+
+bool changed(double before, double after) {
+  return before != after;  // line 12
+}
+
+bool ordered(double a, double b) {
+  return a < b;  // allowed: inequality, not equality
+}

@@ -1,0 +1,12 @@
+// bc-analyze fixture: wall-clock sources outside src/obs/ (rule D2).
+#include <chrono>
+#include <ctime>
+
+double wall_now() {
+  const auto t = std::chrono::steady_clock::now();  // line 6
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long unix_now() {
+  return time(nullptr);  // line 11
+}

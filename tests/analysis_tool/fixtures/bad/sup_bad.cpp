@@ -1,0 +1,19 @@
+// bc-analyze fixture: rejected suppression markers (rule SUP). A rejected
+// marker must NOT silence the finding it targets.
+#include <unordered_map>
+
+std::unordered_map<int, int> table;
+
+// bc-analyze: allow(D1)
+int sum_no_reason() {
+  int s = 0;
+  for (const auto& [k, v] : table) s += v;  // line 10: D1 survives
+  return s;
+}
+
+// bc-analyze: allow(D9) -- no such rule
+int sum_unknown_rule() {
+  int s = 0;
+  for (const auto& [k, v] : table) s += v;  // line 17: D1 survives
+  return s;
+}

@@ -1,0 +1,18 @@
+// bc-analyze fixture: the sanctioned ways to iterate unordered containers.
+#include <unordered_map>
+#include <vector>
+
+#include "util/sorted_view.hpp"
+
+std::unordered_map<int, int> scores;
+
+std::vector<int> export_order() {
+  std::vector<int> out;
+  for (const auto& [peer, score] : bc::util::sorted_view(scores)) {
+    out.push_back(peer);
+  }
+  for (int peer : bc::util::sorted_keys(scores)) {
+    out.push_back(peer);
+  }
+  return out;
+}

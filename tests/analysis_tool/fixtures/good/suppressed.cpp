@@ -1,0 +1,16 @@
+// bc-analyze fixture: well-formed suppressions silence their target line.
+#include <unordered_map>
+
+std::unordered_map<int, int> table;
+
+int total() {
+  int s = 0;
+  // bc-analyze: allow(D1) -- integer sum; addition is commutative, order never escapes
+  for (const auto& [k, v] : table) s += v;
+  return s;
+}
+
+bool equal_scores(double a, double b) {
+  // bc-analyze: allow(B2) -- fixture: exact equality intended
+  return a == b;
+}

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Self-tests for scripts/bc_analyze.py.
+
+Runs the analyzer CLI against the checked-in fixtures and asserts exact
+rule IDs and file:line anchors, the suppression policy (well-formed markers
+silence findings, malformed/reason-less markers are rejected AND leave the
+target finding alive), output formats, and exit codes. Registered with
+ctest as `bc_analyze_selftest`; runs under plain unittest, no third-party
+dependencies.
+"""
+
+import re
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_DIR.parent.parent
+ANALYZER = REPO_ROOT / "scripts" / "bc_analyze.py"
+FIXTURES = TESTS_DIR / "fixtures"
+
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>\w+) ")
+GITHUB_RE = re.compile(
+    r"^::error file=(?P<path>[^,]+),line=(?P<line>\d+),"
+    r"title=bc-analyze (?P<rule>\w+) [\w-]+::")
+
+
+def run_analyzer(*args):
+    proc = subprocess.run(
+        [sys.executable, str(ANALYZER), *args],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    return proc
+
+
+def findings_of(proc, pattern=FINDING_RE):
+    out = set()
+    for line in proc.stdout.splitlines():
+        m = pattern.match(line)
+        if m:
+            path = m.group("path").replace("\\", "/")
+            out.add((Path(path).name, int(m.group("line")), m.group("rule")))
+    return out
+
+
+class BadFixtures(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.proc = run_analyzer(str(FIXTURES / "bad"))
+        cls.findings = findings_of(cls.proc)
+
+    def test_exit_code_is_one(self):
+        self.assertEqual(self.proc.returncode, 1, self.proc.stdout)
+
+    def test_exact_findings(self):
+        expected = {
+            ("d1_unordered.cpp", 13, "D1"),
+            ("d1_unordered.cpp", 16, "D1"),
+            ("d1_unordered.cpp", 19, "D1"),
+            ("d2_wallclock.cpp", 6, "D2"),
+            ("d2_wallclock.cpp", 11, "D2"),
+            ("d3_random.cpp", 6, "D3"),
+            ("d3_random.cpp", 7, "D3"),
+            ("d3_random.cpp", 12, "D3"),
+            ("b1_narrowing.cpp", 7, "B1"),
+            ("b1_narrowing.cpp", 11, "B1"),
+            ("b2_floateq.cpp", 4, "B2"),
+            ("b2_floateq.cpp", 8, "B2"),
+            ("b2_floateq.cpp", 12, "B2"),
+            ("sup_bad.cpp", 7, "SUP"),
+            ("sup_bad.cpp", 10, "D1"),
+            ("sup_bad.cpp", 14, "SUP"),
+            ("sup_bad.cpp", 17, "D1"),
+        }
+        self.assertEqual(self.findings, expected)
+
+    def test_reasonless_suppression_is_called_out(self):
+        line = next(l for l in self.proc.stdout.splitlines()
+                    if "sup_bad.cpp:7:" in l)
+        self.assertIn("reason", line)
+
+    def test_rejected_suppression_does_not_silence_target(self):
+        self.assertIn(("sup_bad.cpp", 10, "D1"), self.findings)
+        self.assertIn(("sup_bad.cpp", 17, "D1"), self.findings)
+
+
+class GoodFixtures(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.proc = run_analyzer(str(FIXTURES / "good"))
+
+    def test_exit_code_is_zero(self):
+        self.assertEqual(self.proc.returncode, 0,
+                         self.proc.stdout + self.proc.stderr)
+
+    def test_no_findings(self):
+        self.assertEqual(findings_of(self.proc), set())
+
+    def test_suppressions_are_honored(self):
+        self.assertIn("2 suppression(s) honored", self.proc.stderr)
+
+
+class GithubOutput(unittest.TestCase):
+    def test_annotations_match_human_findings(self):
+        human = findings_of(run_analyzer(str(FIXTURES / "bad")))
+        gh_proc = run_analyzer(str(FIXTURES / "bad"), "--github")
+        gh = findings_of(gh_proc, GITHUB_RE)
+        self.assertEqual(gh, human)
+        self.assertEqual(gh_proc.returncode, 1)
+
+
+class CliBehavior(unittest.TestCase):
+    def test_list_rules(self):
+        proc = run_analyzer("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("D1", "D2", "D3", "B1", "B2", "SUP"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_path_is_infra_error(self):
+        proc = run_analyzer("no/such/dir")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_repo_sources_are_clean(self):
+        # The tree gate: src/, bench/ and examples/ must stay at zero
+        # findings. Any new violation needs a fix or a reasoned suppression.
+        proc = run_analyzer()
+        self.assertEqual(
+            proc.returncode, 0,
+            "bc-analyze found new violations:\n" + proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

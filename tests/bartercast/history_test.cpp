@@ -85,6 +85,20 @@ TEST(PrivateHistory, EntriesSnapshot) {
   EXPECT_EQ(entries.size(), 2u);
 }
 
+TEST(PrivateHistory, EntriesAreSortedByPeerId) {
+  // Regression: entries() used to surface unordered_map iteration order;
+  // persistence and audits consume it, so the snapshot must be key-sorted
+  // whatever the recording order.
+  PrivateHistory h(0);
+  for (PeerId p : {9u, 3u, 7u, 1u, 5u}) h.record_upload(p, 10, 1.0);
+  const auto entries = h.entries();
+  ASSERT_EQ(entries.size(), 5u);
+  const std::vector<PeerId> expected{1, 3, 5, 7, 9};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(entries[i].peer, expected[i]);
+  }
+}
+
 TEST(PrivateHistoryDeathTest, OwnerEntryRejected) {
   PrivateHistory h(7);
   EXPECT_DEATH(h.record_upload(7, 10, 1.0), "owner");

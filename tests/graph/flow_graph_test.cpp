@@ -122,6 +122,23 @@ TEST(FlowGraph, ClearResets) {
   EXPECT_TRUE(g.check_invariants());
 }
 
+TEST(FlowGraph, NodesAreSortedRegardlessOfInsertionOrder) {
+  // Regression: nodes() used to surface unordered_map iteration order,
+  // which leaks implementation-defined ordering into gossip selection and
+  // exports. It must be ascending whatever the insertion order.
+  FlowGraph a;
+  a.add_capacity(9, 2, 1);
+  a.add_capacity(5, 7, 1);
+  a.add_capacity(1, 9, 1);
+  FlowGraph b;
+  b.add_capacity(1, 9, 1);
+  b.add_capacity(5, 7, 1);
+  b.add_capacity(9, 2, 1);
+  const std::vector<PeerId> expected{1, 2, 5, 7, 9};
+  EXPECT_EQ(a.nodes(), expected);
+  EXPECT_EQ(b.nodes(), expected);
+}
+
 TEST(FlowGraphDeathTest, SelfEdgeRejected) {
   FlowGraph g;
   EXPECT_DEATH(g.add_capacity(1, 1, 10), "self-edges");

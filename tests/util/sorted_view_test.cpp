@@ -1,0 +1,74 @@
+#include "util/sorted_view.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bc::util {
+namespace {
+
+TEST(SortedView, MapIteratesInKeyOrder) {
+  std::unordered_map<int, std::string> m{
+      {7, "seven"}, {1, "one"}, {4, "four"}, {-2, "minus-two"}};
+  std::vector<int> keys;
+  std::vector<std::string> values;
+  for (const auto& [k, v] : sorted_view(m)) {
+    keys.push_back(k);
+    values.push_back(v);
+  }
+  EXPECT_EQ(keys, (std::vector<int>{-2, 1, 4, 7}));
+  EXPECT_EQ(values,
+            (std::vector<std::string>{"minus-two", "one", "four", "seven"}));
+}
+
+TEST(SortedView, SetIteratesInValueOrder) {
+  std::unordered_set<int> s{9, 3, 27, 1};
+  std::vector<int> out;
+  for (int v : sorted_view(s)) out.push_back(v);
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 9, 27}));
+}
+
+TEST(SortedView, ReferencesAliasTheContainer) {
+  std::unordered_map<int, int> m{{1, 10}, {2, 20}};
+  const auto view = sorted_view(m);
+  for (const auto& kv : view) {
+    EXPECT_EQ(&kv, &*m.find(kv.first));
+  }
+}
+
+TEST(SortedView, EmptyContainers) {
+  const std::unordered_map<int, int> m;
+  const std::unordered_set<int> s;
+  EXPECT_TRUE(sorted_view(m).empty());
+  EXPECT_EQ(sorted_view(m).size(), 0u);
+  EXPECT_EQ(sorted_view(s).begin(), sorted_view(s).end());
+  EXPECT_TRUE(sorted_keys(m).empty());
+}
+
+TEST(SortedView, SortedKeysMapAndSet) {
+  std::unordered_map<std::string, int> m{{"b", 1}, {"a", 2}, {"c", 3}};
+  EXPECT_EQ(sorted_keys(m), (std::vector<std::string>{"a", "b", "c"}));
+  std::unordered_set<std::string> s{"z", "x", "y"};
+  EXPECT_EQ(sorted_keys(s), (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(SortedView, StableAcrossInsertionOrders) {
+  // The same logical map built in two insertion orders (and therefore with
+  // potentially different bucket layouts) must present the same view.
+  std::unordered_map<int, int> a;
+  std::unordered_map<int, int> b;
+  for (int i = 0; i < 100; ++i) a[i * 37 % 101] = i;
+  for (int i = 99; i >= 0; --i) b[i * 37 % 101] = i;
+  ASSERT_EQ(a.size(), b.size());
+  std::vector<std::pair<int, int>> va;
+  std::vector<std::pair<int, int>> vb;
+  for (const auto& [k, v] : sorted_view(a)) va.emplace_back(k, v);
+  for (const auto& [k, v] : sorted_view(b)) vb.emplace_back(k, v);
+  EXPECT_EQ(va, vb);
+}
+
+}  // namespace
+}  // namespace bc::util
