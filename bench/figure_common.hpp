@@ -14,6 +14,9 @@
 //   BC_TRACE_OUT=f.json    enable the sim-time tracer, dump Chrome trace
 //                          JSON (open in chrome://tracing or Perfetto)
 // so hot-path attribution of a paper-scale run is one env var away.
+// Execution: BC_THREADS=N runs the batch reputation sweeps on N pool
+// workers (default 1 = serial); any N is bit-identical by the
+// deterministic parallel_for contract, so figures never change with it.
 #pragma once
 
 #include <cstdio>
@@ -84,6 +87,10 @@ inline bc::trace::GeneratorConfig paper_trace(std::uint64_t seed) {
 inline bc::community::ScenarioConfig paper_scenario(std::uint64_t seed) {
   bc::community::ScenarioConfig cfg;
   cfg.seed = seed;
+  if (const char* v = std::getenv("BC_THREADS"); v != nullptr) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) cfg.threads = static_cast<std::size_t>(n);
+  }
   return cfg;
 }
 

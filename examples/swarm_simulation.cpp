@@ -17,6 +17,10 @@
 //                   to F; open in chrome://tracing or ui.perfetto.dev.
 //   --profile       enable the scoped wall-time profiler and print the
 //                   per-site report (maxflow/gossip/choker attribution).
+//   --threads=N     worker threads for the batch reputation sweeps
+//                   (default 1 = serial). Any N produces byte-identical
+//                   output — the parallel_for is deterministic; see
+//                   src/util/concurrency/thread_pool.hpp.
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -40,8 +44,9 @@ int main(int argc, char** argv) {
       {"metrics-csv", "write metrics CSV to this path"},
       {"trace-out", "write a sim-time Chrome trace JSON to this path"},
       {"profile", "profile hot sites and print the report"},
+      {"threads", "worker threads for the batch reputation sweeps (>= 1)"},
   };
-  const auto flags = Flags::parse(argc, argv, allowed);
+  auto flags = Flags::parse(argc, argv, allowed);
   if (!flags.has_value()) {
     std::fputs(Flags::usage(argv[0], allowed).c_str(), stderr);
     return 1;
@@ -71,6 +76,12 @@ int main(int argc, char** argv) {
   cfg.seed = 7;
   cfg.policy = bartercast::ReputationPolicy::ban(-0.5);
   cfg.series_bin = 2.0 * kHour;
+  const std::int64_t threads = flags->get_int("threads", 1);
+  if (!flags->valid() || threads < 1) {
+    std::fprintf(stderr, "error: --threads must be an integer >= 1\n");
+    return 1;
+  }
+  cfg.threads = static_cast<std::size_t>(threads);
 
   community::CommunitySimulator sim(trace::generate(tcfg), cfg);
   sim.run();

@@ -21,6 +21,20 @@ Rule catalogue (see DESIGN.md section 9):
   B2 float-equality       no ==/!= on reputation/time floating-point
                           values; use explicit thresholds or restructure
                           comparators to use </> only
+  C1 raw-primitive        no std::mutex/std::thread/std::atomic/
+                          std::condition_variable (or their lock/semaphore/
+                          future relatives) outside src/util/concurrency/;
+                          only the annotated bc::util wrappers are covered
+                          by the Clang thread-safety analysis
+  C2 unguarded-shared-member
+                          a class owning a bc::util::Mutex must annotate
+                          every mutable data member with BC_GUARDED_BY /
+                          BC_PT_GUARDED_BY (or suppress with a reason
+                          proving the member is single-threaded)
+  C3 detached-execution   no `.detach()` and no std::async: detached work
+                          escapes scope-based reasoning and deterministic
+                          teardown; use bc::util::ThreadPool, which joins
+                          in its destructor
   SUP bad-suppression     a `// bc-analyze: allow(...)` marker that names an
                           unknown rule or omits the mandatory `-- reason`
 
@@ -38,6 +52,9 @@ RULES = {
     "D3": "unseeded-random",
     "B1": "byte-narrowing",
     "B2": "float-equality",
+    "C1": "raw-primitive",
+    "C2": "unguarded-shared-member",
+    "C3": "detached-execution",
     "SUP": "bad-suppression",
 }
 
@@ -49,4 +66,7 @@ RULE_EXEMPT_PREFIXES = {
     "D3": ("src/util/rng.hpp", "src/util/rng.cpp"),
     "B1": (),
     "B2": (),
+    "C1": ("src/util/concurrency/",),
+    "C2": (),
+    "C3": (),
 }

@@ -10,6 +10,7 @@ from bc_analyze import RULES, RULE_EXEMPT_PREFIXES, __version__
 from bc_analyze import clang_frontend
 from bc_analyze.model import Finding
 from bc_analyze.rules_bytes import check_b1, check_b2
+from bc_analyze.rules_concurrency import check_c1, check_c2, check_c3
 from bc_analyze.rules_determinism import check_d1, check_d2, check_d3
 from bc_analyze.source import SourceFile, load_source
 
@@ -113,6 +114,9 @@ class Analysis:
                     s, l_bytes, (l_ints | l_floats) - l_bytes, xfile_bytes),
                 "B2": lambda s=sf: check_b2(
                     s, l_floats, (l_ints | l_bytes) - l_floats, xfile_floats),
+                "C1": lambda s=sf: check_c1(s),
+                "C2": lambda s=sf: check_c2(s),
+                "C3": lambda s=sf: check_c3(s),
             }
             for rule, run in per_rule.items():
                 if _exempt(rule, sf.rel):
@@ -195,8 +199,8 @@ def list_rules() -> str:
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bc_analyze.py",
-        description=("BarterCast determinism & byte-accounting static"
-                     " analyzer (rules D1-D3, B1-B2)"))
+        description=("BarterCast determinism, byte-accounting & concurrency"
+                     " static analyzer (rules D1-D3, B1-B2, C1-C3)"))
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories to analyze"
                              " (default: src bench examples)")

@@ -5,6 +5,7 @@
 // ADSL access links (3 MBps down / 512 KBps up), Nh = Nr = 10.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "bartercast/node.hpp"
@@ -53,6 +54,14 @@ struct ScenarioConfig {
   Seconds reputation_probe_interval = 2.0 * kHour;
   /// Bin width of the speed/reputation time series.
   Seconds series_bin = 4.0 * kHour;
+
+  // --- execution --------------------------------------------------------
+  /// Worker-thread budget for the batch reputation phases (the all-peers
+  /// R_i(j) sweeps in reputation_probe/finalize). 1 = fully serial, today's
+  /// behavior. Any value yields bit-identical results (deterministic
+  /// parallel_for, see util/concurrency/thread_pool.hpp); the `parallel`
+  /// ctest label and the TSan preset prove it.
+  std::size_t threads = 1;
 
   // --- observability ---------------------------------------------------
   /// Period of the obs counter snapshots fed into the sim-time tracer as

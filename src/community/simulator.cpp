@@ -35,6 +35,7 @@ CommunitySimulator::CommunitySimulator(trace::Trace trace,
     : trace_(std::move(trace)),
       config_(config),
       rng_(config.seed),
+      pool_(config.threads),
       overlay_(engine_, Rng(config.seed ^ 0x6f6e6c696e65ULL)),
       pss_(gossip::PeerSamplingService::Config{
           config.seed ^ 0x70737321ULL, /*view_size=*/20, /*exchange_size=*/8}),
@@ -536,26 +537,50 @@ double CommunitySimulator::system_reputation(PeerId subject) {
   return sum / static_cast<double>(n - 1);
 }
 
+std::vector<double> CommunitySimulator::batch_system_reputations() {
+  const auto n = trace_.peers.size();
+  BC_ASSERT(n >= 2);
+  // Phase 1 (parallel): evaluator-major R_i(j) matrix. Task j touches only
+  // evaluator j's Node (maxflow + its private CachedReputation) and writes
+  // only rows[j] — disjoint state, no locks on the hot path. The engine is
+  // parked during the sweep, so no other simulator state moves.
+  std::vector<std::vector<double>> rows(n);
+  pool_.parallel_for(n, [&](std::size_t j) {
+    auto& evaluator = *peers_[j].node;
+    auto& row = rows[j];
+    row.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      row[i] = evaluator.reputation(static_cast<PeerId>(i));
+    }
+  });
+  // Phase 2 (serial): merge in ascending evaluator order. For every subject
+  // i this reproduces the exact FP addition order of the serial sweep
+  // (sum over j = 0..n-1, j != i), so the result is bit-identical to
+  // --threads 1 regardless of how phase 1 was scheduled.
+  std::vector<double> avg(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      avg[i] += rows[j][i];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    avg[i] /= static_cast<double>(n - 1);
+  }
+  return avg;
+}
+
 void CommunitySimulator::reputation_probe() {
   BC_OBS_SCOPE("community.reputation_probe");
   const Seconds now = engine_.now();
   const auto n = static_cast<PeerId>(trace_.peers.size());
   if (n < 2) return;
-  std::vector<double> sum(n, 0.0);
-  // Evaluator-outer loop keeps each evaluator's reputation cache hot.
-  for (PeerId j = 0; j < n; ++j) {
-    auto& evaluator = *peer(j).node;
-    for (PeerId i = 0; i < n; ++i) {
-      if (i == j) continue;
-      sum[i] += evaluator.reputation(i);
-    }
-  }
+  const std::vector<double> reps = batch_system_reputations();
   for (PeerId i = 0; i < n; ++i) {
-    const double r = sum[i] / static_cast<double>(n - 1);
     if (is_freerider(peer(i).behavior)) {
-      metrics_.reputation_freeriders.add(now, r);
+      metrics_.reputation_freeriders.add(now, reps[i]);
     } else {
-      metrics_.reputation_sharers.add(now, r);
+      metrics_.reputation_sharers.add(now, reps[i]);
     }
   }
 }
@@ -583,6 +608,8 @@ void CommunitySimulator::finalize() {
   }
   registry.counter("reputation.cache_hits").inc(cache_hits);
   registry.counter("reputation.cache_misses").inc(cache_misses);
+  const std::vector<double> reps =
+      n >= 2 ? batch_system_reputations() : std::vector<double>(n, 0.0);
   for (PeerId i = 0; i < n; ++i) {
     PeerOutcome& o = metrics_.outcomes[i];
     const PeerState& p = peer(i);
@@ -590,7 +617,7 @@ void CommunitySimulator::finalize() {
     o.behavior = p.behavior;
     o.total_uploaded = p.total_up;
     o.total_downloaded = p.total_down;
-    o.final_system_reputation = system_reputation(i);
+    o.final_system_reputation = reps[i];
     o.files_requested = p.files_requested;
     o.files_completed = p.files_completed;
     o.time_downloading = p.time_downloading;

@@ -33,6 +33,7 @@
 #include "net/overlay.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
+#include "util/concurrency/thread_pool.hpp"
 
 namespace bc::community {
 
@@ -127,6 +128,15 @@ class CommunitySimulator {
   void handle_completion(SwarmId swarm_id, PeerId peer);
   void finalize();
 
+  /// Batch all-peers sweep: returns the system reputation of every trace
+  /// peer (Equation 2), evaluating the full R_i(j) matrix on the thread
+  /// pool. Evaluator-major: each pool task owns one evaluator's Node (its
+  /// CachedReputation is per-node state, so tasks touch disjoint objects),
+  /// and rows are merged serially in ascending evaluator order — the exact
+  /// FP addition order of the serial code, so results are bit-identical at
+  /// any thread count. Requires n >= 2.
+  std::vector<double> batch_system_reputations();
+
   bartercast::BarterCastMessage make_outgoing_message(PeerId peer);
 
   /// TTL-cached reputation for choking decisions.
@@ -138,6 +148,9 @@ class CommunitySimulator {
   trace::Trace trace_;
   ScenarioConfig config_;
   Rng rng_;
+  /// Worker pool for the batch reputation sweeps (config_.threads). All
+  /// other simulator state is touched only from the engine thread.
+  util::ThreadPool pool_;
 
   sim::Engine engine_;
   net::Overlay overlay_;

@@ -59,13 +59,16 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(std::string_view name) {
+  util::LockGuard lock(mu_);
   if (auto it = counters_.find(name); it != counters_.end()) {
     return it->second;
   }
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  // try_emplace: Counter owns an atomic and is therefore not copyable.
+  return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
+  util::LockGuard lock(mu_);
   if (auto it = gauges_.find(name); it != gauges_.end()) {
     return it->second;
   }
@@ -74,6 +77,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> upper_edges) {
+  util::LockGuard lock(mu_);
   if (auto it = histograms_.find(name); it != histograms_.end()) {
     return it->second;
   }
@@ -83,6 +87,7 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 Snapshot Registry::snapshot() const {
+  util::LockGuard lock(mu_);
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -108,7 +113,13 @@ Snapshot Registry::snapshot() const {
   return snap;
 }
 
+std::size_t Registry::num_instruments() const {
+  util::LockGuard lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 void Registry::reset_values() {
+  util::LockGuard lock(mu_);
   for (auto& [_, c] : counters_) c.reset();
   for (auto& [_, g] : gauges_) g.reset();
   for (auto& [_, h] : histograms_) h.reset();

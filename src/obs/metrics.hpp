@@ -1,8 +1,6 @@
 // Metrics registry: named counters, gauges, and fixed-bucket histograms.
 //
-// The simulator is single-threaded (see DESIGN.md §6), so instruments are
-// plain variables behind stable references — an increment is one add, no
-// locks, no atomics. Call sites cache the reference once (typically in a
+// Call sites cache the instrument reference once (typically in a
 // function-local static) and touch only the instrument afterwards:
 //
 //   static obs::Counter& exchanges =
@@ -13,6 +11,14 @@
 // counter()/gauge()/histogram() stay valid for the registry's lifetime,
 // including across reset_values(). Snapshots iterate the map in key order,
 // which makes exported output deterministic run-to-run.
+//
+// Thread safety: instrumented code may run on bc::util::ThreadPool workers
+// (the batch reputation sweeps), so the instrument maps are guarded by an
+// annotated Mutex and Counter::inc is a relaxed atomic add — safe from any
+// thread, and deterministic at any thread count because integer addition
+// commutes. Gauges and histograms are serial-phase instruments: they are
+// only touched from engine callbacks and finalize(), never from pool
+// workers (the TSan `parallel` suite would catch a violation).
 //
 // The registry does not know about simulation time; periodic snapshots are
 // driven externally (see obs/export.hpp and community::CommunitySimulator).
@@ -25,20 +31,25 @@
 #include <string_view>
 #include <vector>
 
+#include "util/concurrency/atomic.hpp"
+#include "util/concurrency/mutex.hpp"
+
 namespace bc::obs {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Safe to increment from pool
+/// workers: the add is relaxed-atomic and the total is order-independent.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void inc(std::uint64_t n = 1) { value_.add(n); }
+  std::uint64_t value() const { return value_.load(); }
+  void reset() { value_.store(0); }
 
  private:
-  std::uint64_t value_ = 0;
+  util::RelaxedCounter value_;
 };
 
-/// Point-in-time measurement (last writer wins).
+/// Point-in-time measurement (last writer wins). Serial-phase only: set
+/// from engine callbacks or finalize(), never from pool workers.
 class Gauge {
  public:
   void set(double v) { value_ = v; }
@@ -115,18 +126,18 @@ class Registry {
 
   Snapshot snapshot() const;
 
-  std::size_t num_instruments() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
-  }
+  std::size_t num_instruments() const;
 
   /// Zeroes every instrument but keeps registrations (and therefore all
   /// outstanding references) intact.
   void reset_values();
 
  private:
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_ BC_GUARDED_BY(mu_);
+  std::map<std::string, Gauge, std::less<>> gauges_ BC_GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      BC_GUARDED_BY(mu_);
 };
 
 }  // namespace bc::obs

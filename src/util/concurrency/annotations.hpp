@@ -1,0 +1,70 @@
+// Clang thread-safety analysis annotations (no-ops under GCC).
+//
+// These macros wrap the capability attributes documented in
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so that lock
+// discipline is *proven at compile time*: a Clang build carries
+// -Wthread-safety -Werror=thread-safety (see the root CMakeLists), which
+// rejects any access to a BC_GUARDED_BY member without the named capability
+// held, any double-acquire, and any scope exit with a capability still held.
+// GCC ignores the attributes, so the annotations cost nothing there; the CI
+// thread-safety job builds with Clang to enforce them on every PR.
+//
+// Usage sketch (see util/concurrency/mutex.hpp for the sanctioned types):
+//
+//   class Account {
+//     util::Mutex mu_;
+//     Bytes balance_ BC_GUARDED_BY(mu_) = 0;
+//    public:
+//     void deposit(Bytes b) {
+//       util::LockGuard lock(mu_);  // BC_ACQUIRE/BC_RELEASE via RAII
+//       balance_ += b;              // OK: mu_ is held
+//     }
+//   };
+//
+// Convention (enforced by bc-analyze rule C2): every mutable member of a
+// class that owns a bc::util::Mutex is either BC_GUARDED_BY(that mutex), a
+// synchronization primitive itself, or carries a reasoned suppression.
+#pragma once
+
+#if defined(__clang__)
+#define BC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BC_THREAD_ANNOTATION(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// Marks a type as a capability (a mutex-like resource) for the analysis.
+#define BC_CAPABILITY(x) BC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define BC_SCOPED_CAPABILITY BC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define BC_GUARDED_BY(x) BC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define BC_PT_GUARDED_BY(x) BC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the listed capabilities (default: `this`).
+#define BC_ACQUIRE(...) BC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (default: `this`).
+#define BC_RELEASE(...) BC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function may acquire; returns `ret` on success (e.g. try_lock -> true).
+#define BC_TRY_ACQUIRE(...) \
+  BC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must already hold the listed capabilities.
+#define BC_REQUIRES(...) BC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define BC_EXCLUDES(...) BC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define BC_RETURN_CAPABILITY(x) BC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must be
+/// justified in a comment (and survives review like a bc-analyze
+/// suppression would).
+#define BC_NO_THREAD_SAFETY_ANALYSIS \
+  BC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,94 @@
+#include "util/concurrency/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bc::util {
+
+namespace {
+
+/// Completion tracker for one parallel_for call. Lives on the caller's
+/// stack; chunk tasks signal it as they finish.
+struct Batch {
+  Mutex mu;
+  CondVar done;
+  std::size_t remaining BC_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  BC_ASSERT_MSG(threads >= 1, "a pool needs at least the calling thread");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    LockGuard lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      LockGuard lock(mu_);
+      while (queue_.empty() && !stop_) work_ready_.wait(mu_);
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t chunks =
+      workers_.empty() ? 1 : std::min(workers_.size() + 1, n);
+  if (chunks == 1) {
+    // Serial pool (or a single chunk): the exact serial program.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Static chunking: chunk c covers [c*n/chunks, (c+1)*n/chunks). The
+  // boundaries depend only on (n, chunks), never on scheduling, and bodies
+  // write disjoint per-index state, so any interleaving yields the same
+  // result. Chunk 0 runs on the calling thread; 1..chunks-1 go to workers.
+  Batch batch;
+  {
+    LockGuard lock(batch.mu);
+    batch.remaining = chunks - 1;
+  }
+  {
+    LockGuard lock(mu_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t lo = c * n / chunks;
+      const std::size_t hi = (c + 1) * n / chunks;
+      queue_.emplace_back([&body, &batch, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+        LockGuard inner(batch.mu);
+        if (--batch.remaining == 0) batch.done.notify_all();
+      });
+    }
+  }
+  work_ready_.notify_all();
+
+  const std::size_t hi0 = n / chunks;
+  for (std::size_t i = 0; i < hi0; ++i) body(i);
+
+  LockGuard lock(batch.mu);
+  while (batch.remaining > 0) batch.done.wait(batch.mu);
+}
+
+}  // namespace bc::util

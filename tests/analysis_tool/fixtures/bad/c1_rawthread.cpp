@@ -1,0 +1,15 @@
+// bc-analyze fixture: raw concurrency primitives outside
+// src/util/concurrency/ (rule C1).
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+std::mutex work_lock;             // line 8
+std::condition_variable work_cv;  // line 9
+std::atomic<int> work_counter;    // line 10
+
+void spin() {
+  std::thread worker([] {});  // line 13
+  worker.join();
+}

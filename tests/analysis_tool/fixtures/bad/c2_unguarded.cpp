@@ -1,0 +1,18 @@
+// bc-analyze fixture: Mutex-owning class with unguarded mutable members
+// (rule C2). The guarded member and the Mutex itself are fine; the two
+// bare members must each be flagged.
+namespace util {
+struct Mutex {};
+}  // namespace util
+#define BC_GUARDED_BY(x)
+
+class SharedLedger {
+ public:
+  void add(long amount);
+
+ private:
+  util::Mutex mu_;
+  long total_ BC_GUARDED_BY(mu_) = 0;  // annotated: no finding
+  long unguarded_total_ = 0;           // line 16
+  bool dirty_;                         // line 17
+};

@@ -1,0 +1,9 @@
+// bc-analyze fixture: detached execution (rule C3). Line 6 also carries a
+// C1 finding for the raw std::thread.
+#include <future>
+#include <thread>
+
+void fire_and_forget() {
+  std::thread([] {}).detach();            // line 7: C1 + C3
+  auto f = std::async([] { return 1; });  // line 8: C3
+}

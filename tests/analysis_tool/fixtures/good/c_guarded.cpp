@@ -1,0 +1,32 @@
+// bc-analyze fixture: concurrency routed through the annotated bc::util
+// wrappers — zero findings for C1-C3. The Mutex-owning class annotates its
+// one mutable member, the pool replaces raw threads, and everything joins.
+#include <cstddef>
+
+#include "util/concurrency/mutex.hpp"
+#include "util/concurrency/thread_pool.hpp"
+
+class GuardedLedger {
+ public:
+  void add(long amount) {
+    bc::util::LockGuard lock(mu_);
+    total_ += amount;
+  }
+
+  long total() const {
+    bc::util::LockGuard lock(mu_);
+    return total_;
+  }
+
+ private:
+  mutable bc::util::Mutex mu_;
+  long total_ BC_GUARDED_BY(mu_) = 0;
+};
+
+long parallel_sum(bc::util::ThreadPool& pool) {
+  GuardedLedger ledger;
+  pool.parallel_for(16, [&ledger](std::size_t i) {
+    ledger.add(static_cast<long>(i));
+  });
+  return ledger.total();
+}

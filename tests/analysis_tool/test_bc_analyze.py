@@ -67,6 +67,15 @@ class BadFixtures(unittest.TestCase):
             ("b2_floateq.cpp", 4, "B2"),
             ("b2_floateq.cpp", 8, "B2"),
             ("b2_floateq.cpp", 12, "B2"),
+            ("c1_rawthread.cpp", 8, "C1"),
+            ("c1_rawthread.cpp", 9, "C1"),
+            ("c1_rawthread.cpp", 10, "C1"),
+            ("c1_rawthread.cpp", 13, "C1"),
+            ("c2_unguarded.cpp", 16, "C2"),
+            ("c2_unguarded.cpp", 17, "C2"),
+            ("c3_detach.cpp", 7, "C1"),
+            ("c3_detach.cpp", 7, "C3"),
+            ("c3_detach.cpp", 8, "C3"),
             ("sup_bad.cpp", 7, "SUP"),
             ("sup_bad.cpp", 10, "D1"),
             ("sup_bad.cpp", 14, "SUP"),
@@ -113,7 +122,7 @@ class CliBehavior(unittest.TestCase):
     def test_list_rules(self):
         proc = run_analyzer("--list-rules")
         self.assertEqual(proc.returncode, 0)
-        for rule in ("D1", "D2", "D3", "B1", "B2", "SUP"):
+        for rule in ("D1", "D2", "D3", "B1", "B2", "C1", "C2", "C3", "SUP"):
             self.assertIn(rule, proc.stdout)
 
     def test_missing_path_is_infra_error(self):

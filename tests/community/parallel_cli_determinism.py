@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""End-to-end byte-identity of swarm_simulation across --threads 1/2/8.
+
+Satellite of the parallel reputation pool (ctest label `parallel`): the
+whole observable surface of the example binary must not change with the
+thread count —
+
+  * stdout of a plain run (tables, correlation, message totals),
+  * the metrics CSV (counters/gauges/histogram buckets),
+  * the metrics JSON minus its "profile" object (wall times are the one
+    legitimately nondeterministic export; everything else must match).
+
+Usage: parallel_cli_determinism.py <path-to-swarm_simulation>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+THREAD_COUNTS = (1, 2, 8)
+
+
+def run_checked(cmd):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.exit(f"FAIL: {' '.join(map(str, cmd))} exited "
+                 f"{proc.returncode}\n{proc.stdout}\n{proc.stderr}")
+    return proc
+
+
+def collect(binary, threads, tmpdir):
+    """Returns (plain stdout, metrics csv bytes, metrics json sans profile)."""
+    plain = run_checked([binary, f"--threads={threads}"])
+    csv_path = Path(tmpdir) / f"metrics_{threads}.csv"
+    json_path = Path(tmpdir) / f"metrics_{threads}.json"
+    run_checked([binary, f"--threads={threads}",
+                 f"--metrics-csv={csv_path}", f"--metrics-out={json_path}"])
+    doc = json.loads(json_path.read_text(encoding="utf-8"))
+    doc.pop("profile", None)  # wall times differ run to run by design
+    return plain.stdout, csv_path.read_bytes(), doc
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: parallel_cli_determinism.py <swarm_simulation>")
+    binary = sys.argv[1]
+    with tempfile.TemporaryDirectory() as tmpdir:
+        results = {t: collect(binary, t, tmpdir) for t in THREAD_COUNTS}
+    base_out, base_csv, base_json = results[THREAD_COUNTS[0]]
+    failures = []
+    for t in THREAD_COUNTS[1:]:
+        out, csv, doc = results[t]
+        if out != base_out:
+            failures.append(f"stdout differs between --threads=1 and "
+                            f"--threads={t}")
+        if csv != base_csv:
+            failures.append(f"metrics CSV differs between --threads=1 and "
+                            f"--threads={t}")
+        if doc != base_json:
+            failures.append(f"metrics JSON (sans profile) differs between "
+                            f"--threads=1 and --threads={t}")
+    if failures:
+        sys.exit("FAIL:\n  " + "\n  ".join(failures))
+    print(f"OK: swarm_simulation byte-identical for --threads "
+          f"{'/'.join(map(str, THREAD_COUNTS))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+// Bit-exact equivalence of serial and parallel reputation evaluation: the
+// same trace and scenario must fingerprint identically for threads = 1, 2
+// and 8. This is the in-process half of the `parallel` ctest label (the
+// CLI half diffs swarm_simulation's bytes); run it under the tsan preset
+// to additionally prove the pool handoff is race-free.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "community/simulator.hpp"
+#include "trace/generator.hpp"
+
+namespace bc::community {
+namespace {
+
+trace::Trace small_trace(std::uint64_t seed) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.num_peers = 16;
+  cfg.num_swarms = 2;
+  cfg.duration = 10.0 * kHour;
+  cfg.file_size_min = mib(15);
+  cfg.file_size_max = mib(40);
+  cfg.requests_per_peer_min = 1;
+  cfg.requests_per_peer_max = 2;
+  return trace::generate(cfg);
+}
+
+void put_double(std::ostringstream& out, double v) {
+  // Raw bit patterns: "equal enough" is not the contract, identical is.
+  out << std::bit_cast<std::uint64_t>(v) << ',';
+}
+
+void put_series(std::ostringstream& out, const TimeSeries& s) {
+  out << s.num_bins() << ';';
+  for (std::size_t i = 0; i < s.num_bins(); ++i) {
+    out << s.bin_count(i) << ':';
+    put_double(out, s.bin_mean(i));
+  }
+  out << '\n';
+}
+
+std::string fingerprint(const Metrics& m) {
+  std::ostringstream out;
+  put_series(out, m.reputation_sharers);
+  put_series(out, m.reputation_freeriders);
+  put_series(out, m.speed_sharers);
+  put_series(out, m.speed_freeriders);
+  for (const auto& o : m.outcomes) {
+    out << o.peer << ',' << static_cast<int>(o.behavior) << ','
+        << o.total_uploaded << ',' << o.total_downloaded << ','
+        << o.files_requested << ',' << o.files_completed << ',';
+    put_double(out, o.final_system_reputation);
+    out << '\n';
+  }
+  out << m.messages.messages_sent << ',' << m.messages.messages_received
+      << ',' << m.messages.records_applied << '\n';
+  return out.str();
+}
+
+std::string run_with_threads(std::size_t threads) {
+  ScenarioConfig cfg;
+  cfg.seed = 9;
+  cfg.policy = bartercast::ReputationPolicy::rank_ban(-0.5);
+  cfg.threads = threads;
+  CommunitySimulator sim(small_trace(21), cfg);
+  sim.run();
+  return fingerprint(sim.metrics());
+}
+
+TEST(ParallelDeterminism, ThreadCountDoesNotChangeAnyBit) {
+  const std::string serial = run_with_threads(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(run_with_threads(2), serial);
+  EXPECT_EQ(run_with_threads(8), serial);
+}
+
+TEST(ParallelDeterminism, ParallelRunIsRepeatable) {
+  EXPECT_EQ(run_with_threads(4), run_with_threads(4));
+}
+
+}  // namespace
+}  // namespace bc::community
