@@ -35,6 +35,11 @@ Rule catalogue (see DESIGN.md section 9):
                           escapes scope-based reasoning and deterministic
                           teardown; use bc::util::ThreadPool, which joins
                           in its destructor
+  G1 dense-index-leak     no graph::PeerIndex / NodeIndex / kNoNode (or
+                          includes of graph/peer_index.hpp) outside
+                          src/graph/: dense slots are recycled on
+                          remove_node() and are not stable peer
+                          identifiers; consumers use the PeerId API
   SUP bad-suppression     a `// bc-analyze: allow(...)` marker that names an
                           unknown rule or omits the mandatory `-- reason`
 
@@ -55,6 +60,7 @@ RULES = {
     "C1": "raw-primitive",
     "C2": "unguarded-shared-member",
     "C3": "detached-execution",
+    "G1": "dense-index-leak",
     "SUP": "bad-suppression",
 }
 
@@ -69,4 +75,5 @@ RULE_EXEMPT_PREFIXES = {
     "C1": ("src/util/concurrency/",),
     "C2": (),
     "C3": (),
+    "G1": ("src/graph/",),
 }

@@ -12,6 +12,7 @@ from bc_analyze.model import Finding
 from bc_analyze.rules_bytes import check_b1, check_b2
 from bc_analyze.rules_concurrency import check_c1, check_c2, check_c3
 from bc_analyze.rules_determinism import check_d1, check_d2, check_d3
+from bc_analyze.rules_graph import check_g1
 from bc_analyze.source import SourceFile, load_source
 
 DEFAULT_PATHS = ["src", "bench", "examples"]
@@ -53,6 +54,7 @@ class Analysis:
         self.global_unordered_fns: set[str] = set()
         self.global_subscript: set[str] = set()
         self.global_ordered: set[str] = set()
+        self.global_ordered_fns: set[str] = set()
         self.global_floats: set[str] = set()
         self.global_bytes: set[str] = set()
         self.frontends = ["tokens"]
@@ -66,6 +68,7 @@ class Analysis:
             self.global_unordered_fns |= sf.unordered_fns
             self.global_subscript |= sf.unordered_element_containers
             self.global_ordered |= sf.ordered_vars
+            self.global_ordered_fns |= sf.ordered_fns
             self.global_floats |= sf.float_vars
             self.global_bytes |= sf.bytes_vars
 
@@ -87,6 +90,11 @@ class Analysis:
         xfile_bytes = self.global_bytes - ambiguous
         xfile_floats = self.global_floats - ambiguous
         xfile_unordered = self.global_unordered - self.global_ordered
+        # Same ambiguity policy for accessor functions: a name some file
+        # declares as returning an ordered container (sorted span, vector)
+        # does not propagate unordered-ness across files.
+        xfile_unordered_fns = (self.global_unordered_fns
+                               - self.global_ordered_fns)
         findings: list[Finding] = []
         for sf in self.sources:
             comp = self._companion(sf)
@@ -100,7 +108,8 @@ class Analysis:
             l_unordered = merged("unordered_vars")
             l_ordered = merged("ordered_vars") - l_unordered
             d1_names = l_unordered | (xfile_unordered - l_ordered)
-            d1_fns = merged("unordered_fns") | self.global_unordered_fns
+            d1_fns = (merged("unordered_fns")
+                      | (xfile_unordered_fns - merged("ordered_fns")))
             d1_subs = (merged("unordered_element_containers")
                        | self.global_subscript)
             l_floats = merged("float_vars")
@@ -117,6 +126,7 @@ class Analysis:
                 "C1": lambda s=sf: check_c1(s),
                 "C2": lambda s=sf: check_c2(s),
                 "C3": lambda s=sf: check_c3(s),
+                "G1": lambda s=sf: check_g1(s),
             }
             for rule, run in per_rule.items():
                 if _exempt(rule, sf.rel):

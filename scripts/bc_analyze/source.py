@@ -124,7 +124,7 @@ VECTOR_OF_UNORDERED_RE = re.compile(
     r"\bstd::(?:vector|array|deque)\s*<\s*std::unordered_(?:map|set)\s*<"
 )
 ORDERED_CONTAINER_RE = re.compile(
-    r"\bstd::(?:vector|map|set|multimap|multiset|deque|list|array)\s*<"
+    r"\bstd::(?:vector|map|set|multimap|multiset|deque|list|array|span)\s*<"
 )
 IDENT_RE = re.compile(r"[A-Za-z_]\w*")
 FLOAT_DECL_RE = re.compile(
@@ -164,6 +164,7 @@ class SourceFile:
     unordered_fns: set[str] = field(default_factory=set)
     unordered_element_containers: set[str] = field(default_factory=set)
     ordered_vars: set[str] = field(default_factory=set)  # deterministic kinds
+    ordered_fns: set[str] = field(default_factory=set)
     float_vars: set[str] = field(default_factory=set)
     bytes_vars: set[str] = field(default_factory=set)
     int_vars: set[str] = field(default_factory=set)
@@ -246,7 +247,10 @@ def _scan_declarations(sf: SourceFile) -> None:
             sf.unordered_vars.add(ident)
     # Deterministically ordered containers: declarations recorded so a name
     # that is unordered in some *other* file is vetoed here (and globally
-    # ambiguous names can be dropped from the cross-file table).
+    # ambiguous names can be dropped from the cross-file table). Functions
+    # returning ordered containers (vector, sorted span, ...) are tracked
+    # the same way so e.g. a span-returning accessor does not inherit
+    # unordered-ness from an identically named accessor elsewhere.
     for m in ORDERED_CONTAINER_RE.finditer(code):
         open_idx = code.index("<", m.start())
         close = match_angle(code, open_idx)
@@ -255,6 +259,8 @@ def _scan_declarations(sf: SourceFile) -> None:
         named = _decl_name_after(code, close)
         if named and named[0] == "var":
             sf.ordered_vars.add(named[1])
+        elif named and named[0] == "fn":
+            sf.ordered_fns.add(named[1])
     for line in sf.code_lines:
         for m in FLOAT_DECL_RE.finditer(line):
             sf.float_vars.add(m.group(1).lstrip("& "))

@@ -58,27 +58,16 @@ void save_node(const Node& node, std::ostream& os) {
   }
 
   // Remote edges only: owner-incident edges are implied by the history.
+  // nodes() is ascending and each out-edge span is sorted by head peer, so
+  // this emits directly in (from, to) order — the same total order the old
+  // collect-and-sort pass produced.
   const auto& graph = node.view().graph();
-  struct Edge {
-    PeerId from;
-    PeerId to;
-    Bytes amount;
-  };
-  std::vector<Edge> edges;
   for (PeerId from : graph.nodes()) {
     if (from == node.id()) continue;
-    // bc-analyze: allow(D1) -- edges are fully re-sorted below under the (from, to) total order before serialization
-    for (const auto& [to, amount] : graph.out_edges(from)) {
-      if (to == node.id()) continue;
-      edges.push_back({from, to, amount});
+    for (const auto& e : graph.out_edges(from)) {
+      if (e.peer == node.id()) continue;
+      os << "#edge," << from << ',' << e.peer << ',' << e.cap << '\n';
     }
-  }
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
-    if (a.from != b.from) return a.from < b.from;
-    return a.to < b.to;
-  });
-  for (const auto& e : edges) {
-    os << "#edge," << e.from << ',' << e.to << ',' << e.amount << '\n';
   }
 }
 

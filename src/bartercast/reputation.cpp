@@ -54,7 +54,15 @@ double ReputationEngine::reputation(const SharedHistory& view,
 // into the "reputation.cache_*" registry counters at end of run.
 double CachedReputation::reputation(PeerId subject) {
   auto [it, inserted] = cache_.try_emplace(subject);
-  if (!inserted && it->second.version == view_.version()) {
+  // Incremental mode: the entry stays exact until a mutation inside the
+  // subject's two-hop neighbourhood bumps last_change(subject) past the
+  // version the entry was computed at. The previous `== version()` check
+  // over-invalidated: one gossiped record flushed every cached subject.
+  const bool valid =
+      !inserted &&
+      (incremental_ ? it->second.version >= view_.last_change(subject)
+                    : it->second.version == view_.version());
+  if (valid) {
     ++hits_;
     return it->second.value;
   }

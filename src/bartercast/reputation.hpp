@@ -71,14 +71,29 @@ class ReputationEngine {
 
 /// Version-keyed reputation cache bound to one SharedHistory. Reputations
 /// are recomputed lazily when the underlying view changed.
+///
+/// For modes confined to two-hop paths (the production kTwoHopExact, and
+/// kBoundedFordFulkerson with max_path_edges <= 2) the cache validates
+/// entries against SharedHistory::last_change(subject): an entry survives
+/// any mutation outside the two-hop neighbourhood of its subject, instead
+/// of the whole cache flushing on every version bump. Longer-path ablation
+/// modes fall back to the exact-version check, since a distant edge can
+/// then reroute an augmenting path.
 class CachedReputation {
  public:
   CachedReputation(const SharedHistory& view, ReputationEngine engine)
-      : view_(view), engine_(engine) {}
+      : view_(view),
+        engine_(engine),
+        incremental_(
+            engine_.config().mode == MaxflowMode::kTwoHopExact ||
+            (engine_.config().mode == MaxflowMode::kBoundedFordFulkerson &&
+             engine_.config().max_path_edges <= 2)) {}
 
   double reputation(PeerId subject);
 
   const ReputationEngine& engine() const { return engine_; }
+  /// True when per-subject dirty tracking is in effect (see class comment).
+  bool incremental() const { return incremental_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
@@ -90,6 +105,7 @@ class CachedReputation {
 
   const SharedHistory& view_;
   ReputationEngine engine_;
+  bool incremental_;
   std::unordered_map<PeerId, Entry> cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

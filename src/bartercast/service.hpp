@@ -82,6 +82,12 @@ class Service {
   /// Reputation of `subject` per Equation 1 on the current view.
   double reputation(PeerId subject) { return node_->reputation(subject); }
 
+  /// The node's reputation cache, exposed for debug panels and tests
+  /// (hit/miss tallies, incremental-invalidation mode).
+  const CachedReputation& reputation_cache() const {
+    return node_->reputation_cache();
+  }
+
   /// Persistence (see persistence.hpp for the format).
   std::string snapshot() const;
   /// Replaces the service's node with a restored one. Returns false (and

@@ -6,12 +6,27 @@
 
 namespace bc::bartercast {
 
+void SharedHistory::mark_owner_edge(PeerId remote) {
+  // See last_change() in the header: an owner-incident edge can shift the
+  // two-hop reputation of remote itself and of any current neighbour of
+  // remote (through the shared-neighbour term with v = remote). Subjects
+  // that become neighbours of remote later are marked by that mutation.
+  last_change_[remote] = version_;
+  for (const graph::Edge& e : graph_.out_edges(remote)) {
+    last_change_[e.peer] = version_;
+  }
+  for (const graph::Edge& e : graph_.in_edges(remote)) {
+    last_change_[e.peer] = version_;
+  }
+}
+
 void SharedHistory::record_local_upload(PeerId remote, Bytes amount) {
   BC_ASSERT(amount >= 0);
   BC_ASSERT(remote != owner_);
   if (amount == 0) return;
   graph_.add_capacity(owner_, remote, amount);
   ++version_;
+  mark_owner_edge(remote);
 }
 
 void SharedHistory::record_local_download(PeerId remote, Bytes amount) {
@@ -20,6 +35,7 @@ void SharedHistory::record_local_download(PeerId remote, Bytes amount) {
   if (amount == 0) return;
   graph_.add_capacity(remote, owner_, amount);
   ++version_;
+  mark_owner_edge(remote);
 }
 
 SharedHistory::ApplyStats SharedHistory::apply_message(
@@ -55,7 +71,14 @@ SharedHistory::ApplyStats SharedHistory::apply_message(
         changed = true;
       }
     }
-    if (changed) ++version_;
+    if (changed) {
+      ++version_;
+      // A remote edge (subject, other) is incident to exactly those two
+      // peers, so they are the only subjects whose two-hop reputation
+      // (from the owner's viewpoint) it can affect.
+      last_change_[r.subject] = version_;
+      last_change_[r.other] = version_;
+    }
     ++stats.applied;
   }
   return stats;

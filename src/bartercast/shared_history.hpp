@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "bartercast/message.hpp"
 #include "graph/flow_graph.hpp"
@@ -56,10 +57,38 @@ class SharedHistory {
   /// reputation caches for exact invalidation.
   std::uint64_t version() const { return version_; }
 
+  /// Version at which the owner's two-hop reputation of `subject` may last
+  /// have changed (0 if never). Eq. 1 with paths <= 2 depends only on edges
+  /// incident to {owner, subject}, so every mutation marks exactly the
+  /// subjects it can affect:
+  ///
+  ///  * a gossiped remote edge (u, v) marks {u, v} — it is incident to no
+  ///    other subject (owner-incident claims are dropped by Rule 1);
+  ///  * an owner-incident edge touching `remote` marks remote and all of
+  ///    remote's current out-/in-neighbours — the edge enters
+  ///    maxflow(owner, j) / maxflow(j, owner) through the shared-neighbour
+  ///    term min(c(owner, remote), c(remote, j)) (resp. mirrored), which is
+  ///    nonzero only for neighbours of remote. A subject that becomes a
+  ///    neighbour of remote later is marked by that later mutation.
+  ///
+  /// A cache entry for `subject` computed at version V is therefore still
+  /// exact while last_change(subject) <= V. Only valid for reputation modes
+  /// confined to two-hop paths; longer-path ablation modes must keep using
+  /// the global version().
+  std::uint64_t last_change(PeerId subject) const {
+    auto it = last_change_.find(subject);
+    return it == last_change_.end() ? 0 : it->second;
+  }
+
  private:
+  // Marks `remote` and its current neighbourhood as changed at the current
+  // version (call after the owner-incident mutation has been applied).
+  void mark_owner_edge(PeerId remote);
+
   PeerId owner_;
   graph::FlowGraph graph_;
   std::uint64_t version_ = 0;
+  std::unordered_map<PeerId, std::uint64_t> last_change_;
 };
 
 }  // namespace bc::bartercast

@@ -141,23 +141,43 @@ void check_ledger_conservation(
 void check_flow_graph(const graph::FlowGraph& graph, Report& report) {
   std::size_t edges = 0;
   for (PeerId node : graph.nodes()) {
-    for (const auto& [to, cap] : util::sorted_view(graph.out_edges(node))) {
+    const auto out = graph.out_edges(node);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const auto& e = out[i];
       ++edges;
-      if (cap <= 0) {
+      if (e.cap <= 0) {
         report.fail("graph.capacity",
-                    "edge " + edge_str(node, to) + " has capacity " +
-                        std::to_string(cap) + " (must be > 0)");
+                    "edge " + edge_str(node, e.peer) + " has capacity " +
+                        std::to_string(e.cap) + " (must be > 0)");
       }
-      if (!graph.in_edges(to).contains(node)) {
-        report.fail("graph.mirror", "edge " + edge_str(node, to) +
+      if (i > 0 && out[i - 1].peer >= e.peer) {
+        report.fail("graph.sorted", "out-edges of " + std::to_string(node) +
+                                        " not strictly ascending at " +
+                                        edge_str(node, e.peer));
+      }
+      const auto mirror = graph.in_edges(e.peer);
+      const bool mirrored =
+          std::any_of(mirror.begin(), mirror.end(), [&](const auto& m) {
+            return m.peer == node && m.cap == e.cap;
+          });
+      if (!mirrored) {
+        report.fail("graph.mirror", "edge " + edge_str(node, e.peer) +
                                         " missing from the in-edge index");
       }
     }
-    for (PeerId from : util::sorted_view(graph.in_edges(node))) {
-      if (graph.capacity(from, node) <= 0) {
+    const auto in = graph.in_edges(node);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const auto& e = in[i];
+      if (i > 0 && in[i - 1].peer >= e.peer) {
+        report.fail("graph.sorted", "in-edges of " + std::to_string(node) +
+                                        " not strictly ascending at " +
+                                        edge_str(e.peer, node));
+      }
+      if (graph.capacity(e.peer, node) != e.cap) {
         report.fail("graph.mirror",
-                    "in-edge index lists " + edge_str(from, node) +
-                        " but the forward edge is absent or non-positive");
+                    "in-edge index lists " + edge_str(e.peer, node) +
+                        " with capacity " + std::to_string(e.cap) +
+                        " but the forward edge disagrees");
       }
     }
   }

@@ -1,30 +1,67 @@
 #include "graph/flow_graph.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
-#include "util/sorted_view.hpp"
 
 namespace bc::graph {
 
 namespace {
-const std::unordered_map<PeerId, Bytes> kEmptyOut;
-const std::unordered_set<PeerId> kEmptyIn;
+
+/// Position of `peer` in a sorted adjacency array (lower bound).
+std::vector<Edge>::iterator adj_lower_bound(std::vector<Edge>& adj,
+                                            PeerId peer) {
+  return std::lower_bound(
+      adj.begin(), adj.end(), peer,
+      [](const Edge& e, PeerId p) { return e.peer < p; });
+}
+
+std::vector<Edge>::const_iterator adj_lower_bound(
+    const std::vector<Edge>& adj, PeerId peer) {
+  return std::lower_bound(
+      adj.begin(), adj.end(), peer,
+      [](const Edge& e, PeerId p) { return e.peer < p; });
+}
+
+/// Pointer to the entry for `peer`, or nullptr if absent.
+const Edge* adj_find(const std::vector<Edge>& adj, PeerId peer) {
+  auto it = adj_lower_bound(adj, peer);
+  return it != adj.end() && it->peer == peer ? &*it : nullptr;
+}
+
+/// Removes the entry for `peer`; the entry must exist.
+void adj_erase(std::vector<Edge>& adj, PeerId peer) {
+  auto it = adj_lower_bound(adj, peer);
+  BC_DASSERT(it != adj.end() && it->peer == peer);
+  adj.erase(it);
+}
+
 }  // namespace
 
-void FlowGraph::touch(PeerId node) {
-  out_.try_emplace(node);
-  in_.try_emplace(node);
+NodeIndex FlowGraph::touch(PeerId node) {
+  const NodeIndex slot = index_.intern(node);
+  if (slot >= out_.size()) {
+    out_.resize(index_.slot_count());
+    in_.resize(index_.slot_count());
+  }
+  return slot;
 }
 
 void FlowGraph::add_capacity(PeerId from, PeerId to, Bytes amount) {
   BC_ASSERT(amount >= 0);
   BC_ASSERT_MSG(from != to, "self-edges carry no reputation information");
-  touch(from);
-  touch(to);
+  const NodeIndex fi = touch(from);
+  const NodeIndex ti = touch(to);
   if (amount == 0) return;
-  auto [it, inserted] = out_[from].try_emplace(to, 0);
-  it->second += amount;
-  if (inserted) {
-    in_[to].insert(from);
+  auto& adj = out_[fi];
+  auto it = adj_lower_bound(adj, to);
+  if (it != adj.end() && it->peer == to) {
+    it->cap += amount;
+    adj_lower_bound(in_[ti], from)->cap += amount;
+  } else {
+    adj.insert(it, Edge{to, amount});
+    auto& mirror = in_[ti];
+    mirror.insert(adj_lower_bound(mirror, from), Edge{from, amount});
     ++num_edges_;
   }
 }
@@ -32,123 +69,134 @@ void FlowGraph::add_capacity(PeerId from, PeerId to, Bytes amount) {
 void FlowGraph::set_capacity(PeerId from, PeerId to, Bytes amount) {
   BC_ASSERT(amount >= 0);
   BC_ASSERT_MSG(from != to, "self-edges carry no reputation information");
-  touch(from);
-  touch(to);
-  auto& adj = out_[from];
-  auto it = adj.find(to);
+  const NodeIndex fi = touch(from);
+  const NodeIndex ti = touch(to);
+  auto& adj = out_[fi];
+  auto it = adj_lower_bound(adj, to);
+  const bool present = it != adj.end() && it->peer == to;
   if (amount == 0) {
-    if (it != adj.end()) {
+    if (present) {
       adj.erase(it);
-      in_[to].erase(from);
+      adj_erase(in_[ti], from);
       --num_edges_;
     }
     return;
   }
-  if (it == adj.end()) {
-    adj.emplace(to, amount);
-    in_[to].insert(from);
-    ++num_edges_;
+  if (present) {
+    it->cap = amount;
+    adj_lower_bound(in_[ti], from)->cap = amount;
   } else {
-    it->second = amount;
+    adj.insert(it, Edge{to, amount});
+    auto& mirror = in_[ti];
+    mirror.insert(adj_lower_bound(mirror, from), Edge{from, amount});
+    ++num_edges_;
   }
 }
 
 Bytes FlowGraph::capacity(PeerId from, PeerId to) const {
-  auto node = out_.find(from);
-  if (node == out_.end()) return 0;
-  auto edge = node->second.find(to);
-  return edge == node->second.end() ? 0 : edge->second;
+  const NodeIndex fi = index_.find(from);
+  if (fi == kNoNode) return 0;
+  const Edge* e = adj_find(out_[fi], to);
+  return e == nullptr ? 0 : e->cap;
 }
 
-bool FlowGraph::has_node(PeerId node) const { return out_.contains(node); }
-
-const std::unordered_map<PeerId, Bytes>& FlowGraph::out_edges(
-    PeerId node) const {
-  auto it = out_.find(node);
-  return it == out_.end() ? kEmptyOut : it->second;
+std::span<const Edge> FlowGraph::out_edges(PeerId node) const {
+  const NodeIndex slot = index_.find(node);
+  if (slot == kNoNode) return {};
+  return out_[slot];
 }
 
-const std::unordered_set<PeerId>& FlowGraph::in_edges(PeerId node) const {
-  auto it = in_.find(node);
-  return it == in_.end() ? kEmptyIn : it->second;
-}
-
-std::vector<PeerId> FlowGraph::nodes() const {
-  // Key-sorted so every consumer (gossip selection, exports, audits) sees
-  // the same node order on every run and standard library.
-  return util::sorted_keys(out_);
+std::span<const Edge> FlowGraph::in_edges(PeerId node) const {
+  const NodeIndex slot = index_.find(node);
+  if (slot == kNoNode) return {};
+  return in_[slot];
 }
 
 Bytes FlowGraph::out_capacity(PeerId node) const {
   Bytes total = 0;
-  // bc-analyze: allow(D1) -- integer sum over all edges; addition over Bytes is commutative, order never escapes
-  for (const auto& [_, cap] : out_edges(node)) total += cap;
+  for (const Edge& e : out_edges(node)) total += e.cap;
   return total;
 }
 
 Bytes FlowGraph::in_capacity(PeerId node) const {
   Bytes total = 0;
-  // bc-analyze: allow(D1) -- integer sum over all in-edges; commutative, order never escapes
-  for (PeerId from : in_edges(node)) total += capacity(from, node);
+  for (const Edge& e : in_edges(node)) total += e.cap;
   return total;
 }
 
 Bytes FlowGraph::total_capacity() const {
   Bytes total = 0;
-  // bc-analyze: allow(D1) -- integer sum over every edge; commutative, order never escapes
-  for (const auto& [_, adj] : out_) {
-    for (const auto& [__, cap] : adj) total += cap;
+  for (const auto& adj : out_) {
+    for (const Edge& e : adj) total += e.cap;
   }
   return total;
 }
 
 void FlowGraph::remove_node(PeerId node) {
-  auto it = out_.find(node);
-  if (it == out_.end()) return;
+  const NodeIndex slot = index_.find(node);
+  if (slot == kNoNode) return;
   // Drop outgoing edges and their reverse index entries.
-  // bc-analyze: allow(D1) -- per-edge erases touch disjoint entries; final state is order-independent
-  for (const auto& [to, _] : it->second) {
-    in_[to].erase(node);
+  for (const Edge& e : out_[slot]) {
+    adj_erase(in_[index_.find(e.peer)], node);
     --num_edges_;
   }
   // Drop incoming edges.
-  // bc-analyze: allow(D1) -- per-edge erases touch disjoint entries; final state is order-independent
-  for (PeerId from : in_[node]) {
-    out_[from].erase(node);
+  for (const Edge& e : in_[slot]) {
+    adj_erase(out_[index_.find(e.peer)], node);
     --num_edges_;
   }
-  out_.erase(node);
-  in_.erase(node);
+  out_[slot].clear();
+  out_[slot].shrink_to_fit();
+  in_[slot].clear();
+  in_[slot].shrink_to_fit();
+  index_.erase(node);
 }
 
 void FlowGraph::clear() {
+  index_.clear();
   out_.clear();
   in_.clear();
   num_edges_ = 0;
 }
 
 bool FlowGraph::check_invariants() const {
+  if (!index_.check_invariants()) return false;
+  if (out_.size() != in_.size()) return false;
+  if (out_.size() > index_.slot_count()) return false;
+  auto sorted_positive = [](const std::vector<Edge>& adj) {
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      if (adj[i].cap <= 0) return false;
+      if (i > 0 && adj[i - 1].peer >= adj[i].peer) return false;
+    }
+    return true;
+  };
   std::size_t edges = 0;
-  // bc-analyze: allow(D1) -- boolean all-of over every edge; a pure predicate, order cannot change the result
-  for (const auto& [from, adj] : out_) {
-    if (!in_.contains(from)) return false;
-    for (const auto& [to, cap] : adj) {
-      if (cap <= 0) return false;
-      auto in_it = in_.find(to);
-      if (in_it == in_.end() || !in_it->second.contains(from)) return false;
+  for (NodeIndex slot = 0; slot < out_.size(); ++slot) {
+    const PeerId id = index_.peer(slot);
+    if (id == kInvalidPeer) {
+      // Free slot: must hold no adjacency.
+      if (!out_[slot].empty() || !in_[slot].empty()) return false;
+      continue;
+    }
+    if (!sorted_positive(out_[slot]) || !sorted_positive(in_[slot])) {
+      return false;
+    }
+    for (const Edge& e : out_[slot]) {
+      const NodeIndex to = index_.find(e.peer);
+      if (to == kNoNode || to >= in_.size()) return false;
+      const Edge* mirror = adj_find(in_[to], id);
+      if (mirror == nullptr || mirror->cap != e.cap) return false;
       ++edges;
     }
-  }
-  if (edges != num_edges_) return false;
-  // Every in-edge must have a matching out-edge.
-  // bc-analyze: allow(D1) -- boolean all-of over the reverse index; order cannot change the result
-  for (const auto& [to, preds] : in_) {
-    for (PeerId from : preds) {
-      auto out_it = out_.find(from);
-      if (out_it == out_.end() || !out_it->second.contains(to)) return false;
+    // Every in-edge must have a matching out-edge with the same capacity.
+    for (const Edge& e : in_[slot]) {
+      const NodeIndex from = index_.find(e.peer);
+      if (from == kNoNode || from >= out_.size()) return false;
+      const Edge* fwd = adj_find(out_[from], id);
+      if (fwd == nullptr || fwd->cap != e.cap) return false;
     }
   }
-  return true;
+  return edges == num_edges_;
 }
 
 }  // namespace bc::graph

@@ -2,20 +2,40 @@
 //
 // In BarterCast the capacity c(i, j) is "the total number of bytes peer i
 // has uploaded to peer j in the past" (paper §3.2). The graph is sparse and
-// mutated incrementally as transfer records arrive, so it is stored as
-// per-node hash adjacency with a mirrored in-edge index for reverse
-// traversal (needed by the residual network of the maxflow algorithms).
+// mutated incrementally as transfer records arrive; at reputation-serving
+// scale the two-hop maxflow query is the hot path of the whole system, so
+// storage is a dense-index core: a PeerIndex interns PeerIds to dense
+// NodeIndex slots, and per-node adjacency is a sorted array of Edge entries
+// (ascending neighbor PeerId) with a mirrored in-edge array for reverse
+// traversal. Sorted arrays make neighbor queries a binary search, the
+// two-hop flow a linear merge-scan (see maxflow.cpp), and every public
+// iteration surface deterministically ordered without sorted_view wrappers.
+//
+// The public API speaks PeerId only. Dense indices are an internal detail
+// of src/graph/ (bc-analyze rule G1 flags leaks); the `index()` accessor
+// exists for the maxflow implementations and tests of this module.
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
+#include "graph/peer_index.hpp"
 #include "util/ids.hpp"
 #include "util/units.hpp"
 
 namespace bc::graph {
+
+/// One adjacency entry: a neighbor and the capacity of the connecting edge.
+/// In an out-edge array of node u, `peer` is the head v of edge (u, v); in
+/// an in-edge array of node v, `peer` is the tail u and `cap` the same
+/// c(u, v) (the mirror stores capacities so reverse scans need no lookup).
+struct Edge {
+  PeerId peer;
+  Bytes cap;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
 
 class FlowGraph {
  public:
@@ -30,18 +50,20 @@ class FlowGraph {
   /// Capacity of (from, to); 0 if the edge or either node is absent.
   Bytes capacity(PeerId from, PeerId to) const;
 
-  bool has_node(PeerId node) const;
-  std::size_t num_nodes() const { return out_.size(); }
+  bool has_node(PeerId node) const { return index_.contains(node); }
+  std::size_t num_nodes() const { return index_.size(); }
   std::size_t num_edges() const { return num_edges_; }
 
-  /// Successors of `node` with positive capacity. Empty map for unknown node.
-  const std::unordered_map<PeerId, Bytes>& out_edges(PeerId node) const;
-  /// Predecessors of `node` (nodes with a positive-capacity edge into it).
-  const std::unordered_set<PeerId>& in_edges(PeerId node) const;
+  /// Successors of `node` with positive capacity, ascending by PeerId.
+  /// Empty span for an unknown node. Invalidated by any mutation.
+  std::span<const Edge> out_edges(PeerId node) const;
+  /// Predecessors of `node` (each entry: tail peer and the capacity of the
+  /// edge into `node`), ascending by PeerId. Invalidated by any mutation.
+  std::span<const Edge> in_edges(PeerId node) const;
 
   /// All node ids, sorted ascending (deterministic across runs and
   /// standard-library implementations).
-  std::vector<PeerId> nodes() const;
+  std::vector<PeerId> nodes() const { return index_.ids_sorted(); }
 
   /// Sum of capacities of all edges.
   Bytes total_capacity() const;
@@ -52,21 +74,30 @@ class FlowGraph {
   /// Sum of capacities entering `node` (the trivial cut around the sink).
   Bytes in_capacity(PeerId node) const;
 
-  /// Removes a node and all incident edges. No-op for unknown node.
+  /// Removes a node and all incident edges, returning its slot to the
+  /// PeerIndex free list (a later add re-interns it, possibly at a
+  /// different slot). No-op for unknown node.
   void remove_node(PeerId node);
 
   void clear();
 
-  /// Internal consistency check (out/in indices mirror each other, all
-  /// capacities positive). Used by tests and BC_DASSERT call sites.
+  /// Internal consistency check (adjacency sorted strictly ascending, all
+  /// capacities positive, out/in arrays mirror each other with equal
+  /// capacities, PeerIndex bijection intact). Used by tests and BC_DASSERT
+  /// call sites.
   bool check_invariants() const;
 
- private:
-  // Ensures the node exists in both indices.
-  void touch(PeerId node);
+  /// The interning layer, exposed for the maxflow implementations and the
+  /// tests of this module only (bc-analyze G1 enforces the boundary).
+  const PeerIndex& index() const { return index_; }
 
-  std::unordered_map<PeerId, std::unordered_map<PeerId, Bytes>> out_;
-  std::unordered_map<PeerId, std::unordered_set<PeerId>> in_;
+ private:
+  // Ensures the node exists, returning its slot.
+  NodeIndex touch(PeerId node);
+
+  PeerIndex index_;
+  std::vector<std::vector<Edge>> out_;  // slot -> sorted out-adjacency
+  std::vector<std::vector<Edge>> in_;   // slot -> sorted in-adjacency
   std::size_t num_edges_ = 0;
 };
 

@@ -1,9 +1,10 @@
 #include "graph/maxflow.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "obs/profile.hpp"
@@ -17,15 +18,19 @@ namespace {
 /// reverse residuals at zero (created lazily on augmentation). Line 9 of the
 /// paper's Algorithm 1 — f(j,i) -= cf(p) — is exactly the reverse-residual
 /// bookkeeping performed here.
+///
+/// Augmentation deltas are sparse relative to the graph (bounded by the
+/// number of augmenting-path edges), so they live in a small side map keyed
+/// by the packed endpoint pair; the adjacency itself is read straight from
+/// the dense sorted edge arrays.
 class Residual {
  public:
   explicit Residual(const FlowGraph& g) : g_(g) {}
 
   Bytes residual(PeerId u, PeerId v) const {
-    if (auto it = delta_.find(key(u, v)); it != delta_.end()) {
-      return g_.capacity(u, v) + it->second;
-    }
-    return g_.capacity(u, v);
+    Bytes r = g_.capacity(u, v);
+    if (auto it = delta_.find(key(u, v)); it != delta_.end()) r += it->second;
+    return r;
   }
 
   void augment(PeerId u, PeerId v, Bytes amount) {
@@ -33,20 +38,32 @@ class Residual {
     delta_[key(v, u)] += amount;
   }
 
-  /// Neighbours reachable from u with positive residual capacity: all
-  /// forward out-edges plus any reverse edges created by augmentation.
+  /// Neighbours reachable from u with positive residual capacity, visited in
+  /// ascending PeerId order: a single merge-scan over the sorted out-edge
+  /// array (forward residuals) and in-edge array (reverse residuals, which
+  /// exist only toward predecessors in the original graph). The sorted
+  /// arrays make the deterministic order free — no collect-and-sort pass.
   template <typename Fn>
   void for_each_residual_edge(PeerId u, Fn&& fn) const {
-    // bc-analyze: allow(D1) -- hot path: every caller collects the neighbours and re-sorts them by id before use
-    for (const auto& [v, _] : g_.out_edges(u)) {
-      const Bytes r = residual(u, v);
-      if (r > 0) fn(v, r);
-    }
-    // Reverse edges exist only toward predecessors in the original graph.
-    // bc-analyze: allow(D1) -- hot path: every caller collects the neighbours and re-sorts them by id before use
-    for (PeerId v : g_.in_edges(u)) {
-      if (g_.capacity(u, v) > 0) continue;  // already visited as forward
-      const Bytes r = residual(u, v);
+    const std::span<const Edge> out = g_.out_edges(u);
+    const std::span<const Edge> in = g_.in_edges(u);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < out.size() || j < in.size()) {
+      PeerId v;
+      Bytes base;
+      if (j == in.size() || (i < out.size() && out[i].peer <= in[j].peer)) {
+        v = out[i].peer;
+        base = out[i].cap;
+        if (j < in.size() && in[j].peer == v) ++j;  // both directions exist
+        ++i;
+      } else {
+        v = in[j].peer;  // reverse-only: no forward edge (u, v)
+        base = 0;
+        ++j;
+      }
+      Bytes r = base;
+      if (auto it = delta_.find(key(u, v)); it != delta_.end()) r += it->second;
       if (r > 0) fn(v, r);
     }
   }
@@ -61,25 +78,25 @@ class Residual {
 };
 
 /// Depth-first search for an augmenting path of at most `depth_left` edges.
-/// Fills `path` with the node sequence s..t on success.
-bool dfs_find_path(const Residual& res, PeerId u, PeerId t, int depth_left,
-                   std::unordered_set<PeerId>& visited,
+/// Fills `path` with the node sequence s..t on success. `visited` is a
+/// dense slot-indexed bitmap (sized to the graph's slot table).
+bool dfs_find_path(const FlowGraph& g, const Residual& res, PeerId u, PeerId t,
+                   int depth_left, std::vector<char>& visited,
                    std::vector<PeerId>& path) {
   if (u == t) return true;
   if (depth_left == 0) return false;
-  visited.insert(u);
+  visited[g.index().find(u)] = 1;
   bool found = false;
-  // Collect candidates first so recursion does not iterate a live structure;
-  // sort for run-to-run determinism (hash-map order is insertion-dependent).
+  // Collect candidates first so recursion does not interleave with the
+  // residual merge-scan; the scan already yields ascending PeerId order.
   std::vector<std::pair<PeerId, Bytes>> candidates;
   res.for_each_residual_edge(
       u, [&](PeerId v, Bytes r) { candidates.emplace_back(v, r); });
-  std::sort(candidates.begin(), candidates.end());
   for (const auto& [v, _] : candidates) {
-    if (visited.contains(v)) continue;
+    if (visited[g.index().find(v)] != 0) continue;
     path.push_back(v);
-    if (dfs_find_path(res, v, t, depth_left < 0 ? -1 : depth_left - 1, visited,
-                      path)) {
+    if (dfs_find_path(g, res, v, t, depth_left < 0 ? -1 : depth_left - 1,
+                      visited, path)) {
       found = true;
       break;
     }
@@ -98,9 +115,9 @@ Bytes max_flow_ford_fulkerson(const FlowGraph& g, PeerId s, PeerId t,
   Residual res(g);
   Bytes flow = 0;
   for (;;) {
-    std::unordered_set<PeerId> visited;
+    std::vector<char> visited(g.index().slot_count(), 0);
     std::vector<PeerId> path{s};
-    if (!dfs_find_path(res, s, t, max_path_edges, visited, path)) break;
+    if (!dfs_find_path(g, res, s, t, max_path_edges, visited, path)) break;
     // Bottleneck capacity along the path (line 6 of Algorithm 1).
     Bytes bottleneck = res.residual(path[0], path[1]);
     for (std::size_t i = 1; i + 1 < path.size(); ++i) {
@@ -121,38 +138,39 @@ Bytes max_flow_edmonds_karp(const FlowGraph& g, PeerId s, PeerId t) {
   Residual res(g);
   Bytes flow = 0;
   for (;;) {
-    // BFS for the shortest augmenting path.
-    std::unordered_map<PeerId, PeerId> parent;
-    parent[s] = s;
+    // BFS for the shortest augmenting path. The parent table is a dense
+    // slot-indexed array: parent[slot(v)] is the BFS predecessor of v, or
+    // kInvalidPeer while v is undiscovered.
+    std::vector<PeerId> parent(g.index().slot_count(), kInvalidPeer);
+    parent[g.index().find(s)] = s;
     std::deque<PeerId> queue{s};
     bool reached = false;
     while (!queue.empty() && !reached) {
       const PeerId u = queue.front();
       queue.pop_front();
-      std::vector<PeerId> next;
       res.for_each_residual_edge(u, [&](PeerId v, Bytes) {
-        if (!parent.contains(v)) next.push_back(v);
-      });
-      std::sort(next.begin(), next.end());
-      for (PeerId v : next) {
-        if (parent.contains(v)) continue;  // may appear twice via fwd+rev
-        parent[v] = u;
+        if (reached) return;
+        PeerId& p = parent[g.index().find(v)];
+        if (p != kInvalidPeer) return;
+        p = u;
         if (v == t) {
           reached = true;
-          break;
+          return;
         }
         queue.push_back(v);
-      }
+      });
     }
     if (!reached) break;
     Bytes bottleneck = 0;
-    for (PeerId v = t; v != s; v = parent[v]) {
-      const Bytes r = res.residual(parent[v], v);
+    for (PeerId v = t; v != s; v = parent[g.index().find(v)]) {
+      const Bytes r = res.residual(parent[g.index().find(v)], v);
       bottleneck = bottleneck == 0 ? r : std::min(bottleneck, r);
     }
     BC_ASSERT(bottleneck > 0);
-    for (PeerId v = t; v != s; v = parent[v]) {
-      res.augment(parent[v], v, bottleneck);
+    for (PeerId v = t; v != s;) {
+      const PeerId u = parent[g.index().find(v)];
+      res.augment(u, v, bottleneck);
+      v = u;
     }
     flow += bottleneck;
   }
@@ -163,11 +181,25 @@ Bytes max_flow_two_hop(const FlowGraph& g, PeerId s, PeerId t) {
   BC_OBS_SCOPE("maxflow.two_hop");
   if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
   Bytes flow = g.capacity(s, t);
-  // bc-analyze: allow(D1) -- commutative Bytes sum over disjoint two-hop paths; order cannot change the flow
-  for (const auto& [v, cap_sv] : g.out_edges(s)) {
-    if (v == t) continue;
-    const Bytes cap_vt = g.capacity(v, t);
-    if (cap_vt > 0) flow += std::min(cap_sv, cap_vt);
+  // Paths of length two are pairwise edge-disjoint, so the flow beyond the
+  // direct edge is a merge-scan intersection of s's successors and t's
+  // predecessors: each shared neighbour v contributes min(c(s,v), c(v,t)).
+  // Neither span can contain its own node (no self-edges), so s and t are
+  // excluded from the intersection automatically.
+  const std::span<const Edge> out = g.out_edges(s);
+  const std::span<const Edge> in = g.in_edges(t);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < out.size() && j < in.size()) {
+    if (out[i].peer < in[j].peer) {
+      ++i;
+    } else if (in[j].peer < out[i].peer) {
+      ++j;
+    } else {
+      flow += std::min(out[i].cap, in[j].cap);
+      ++i;
+      ++j;
+    }
   }
   return flow;
 }

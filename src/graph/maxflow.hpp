@@ -11,8 +11,9 @@
 //    implementation, used to cross-check Ford-Fulkerson in tests.
 //  * max_flow_two_hop: closed-form two-hop maxflow. Paths of length <= 2
 //    between distinct s and t are pairwise edge-disjoint, so the maximum is
-//    exactly c(s,t) + sum_v min(c(s,v), c(v,t)). This is the O(deg) fast
-//    path used by the reputation engine.
+//    exactly c(s,t) + sum_v min(c(s,v), c(v,t)), computed as a linear
+//    merge-scan intersection of the sorted out-edges of s and in-edges of
+//    t: O(deg(s) + deg(t)). This is the fast path of the reputation engine.
 //
 // Note on bounded paths: for a bound of 1 or 2 the depth-limited
 // Ford-Fulkerson is exact (paths are edge-disjoint). For larger bounds the

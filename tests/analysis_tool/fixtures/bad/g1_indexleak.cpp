@@ -1,0 +1,14 @@
+// G1 fixture: dense graph internals leaking outside src/graph/. Slot
+// numbers are recycled on remove_node(), so storing or arithmetic-ing them
+// here silently re-targets a different peer after churn.
+#include "graph/peer_index.hpp"
+
+namespace bc {
+
+graph::NodeIndex slot_of(const graph::PeerIndex& index, PeerId id) {
+  const graph::NodeIndex slot = index.find(id);
+  if (slot == graph::kNoNode) return 0;
+  return slot + 1;
+}
+
+}  // namespace bc

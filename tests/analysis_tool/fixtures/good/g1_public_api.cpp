@@ -1,0 +1,13 @@
+// G1 counter-fixture: consumers stay on the PeerId API of the graph
+// module — capacity lookups and sorted edge spans, no dense slot numbers.
+#include "graph/flow_graph.hpp"
+
+namespace bc {
+
+Bytes two_hop_upper_bound(const graph::FlowGraph& g, PeerId s, PeerId t) {
+  Bytes total = g.capacity(s, t);
+  for (const auto& e : g.out_edges(s)) total += e.cap;
+  return total;
+}
+
+}  // namespace bc

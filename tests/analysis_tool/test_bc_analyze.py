@@ -76,6 +76,10 @@ class BadFixtures(unittest.TestCase):
             ("c3_detach.cpp", 7, "C1"),
             ("c3_detach.cpp", 7, "C3"),
             ("c3_detach.cpp", 8, "C3"),
+            ("g1_indexleak.cpp", 4, "G1"),
+            ("g1_indexleak.cpp", 8, "G1"),
+            ("g1_indexleak.cpp", 9, "G1"),
+            ("g1_indexleak.cpp", 10, "G1"),
             ("sup_bad.cpp", 7, "SUP"),
             ("sup_bad.cpp", 10, "D1"),
             ("sup_bad.cpp", 14, "SUP"),
@@ -122,7 +126,8 @@ class CliBehavior(unittest.TestCase):
     def test_list_rules(self):
         proc = run_analyzer("--list-rules")
         self.assertEqual(proc.returncode, 0)
-        for rule in ("D1", "D2", "D3", "B1", "B2", "C1", "C2", "C3", "SUP"):
+        for rule in ("D1", "D2", "D3", "B1", "B2", "C1", "C2", "C3", "G1",
+                     "SUP"):
             self.assertIn(rule, proc.stdout)
 
     def test_missing_path_is_infra_error(self):

@@ -165,5 +165,94 @@ TEST(CachedReputation, DistinctSubjectsCachedIndependently) {
   EXPECT_EQ(cache.misses(), 2u);
 }
 
+BarterCastMessage gossip(PeerId sender, std::vector<BarterRecord> records) {
+  BarterCastMessage msg;
+  msg.sender = sender;
+  msg.sent_at = 1.0;
+  msg.records = std::move(records);
+  return msg;
+}
+
+// Regression for the over-invalidation bug: the cache used to compare
+// against the global history version, so one gossiped record about distant
+// peers flushed every cached subject. (The old hit/miss counters looked
+// healthy only because sweeps query each subject exactly once per version
+// bump.) With per-subject tracking, an untouched subject stays cached
+// across an unrelated edge update.
+TEST(CachedReputation, UntouchedSubjectSurvivesUnrelatedEdgeUpdate) {
+  SharedHistory view(0);
+  view.record_local_download(1, kGiB);
+  view.record_local_upload(2, 200 * kMiB);
+  CachedReputation cache(view, ReputationEngine{});
+  ASSERT_TRUE(cache.incremental());
+  const double r1 = cache.reputation(1);
+  const double r2 = cache.reputation(2);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Gossip about an edge between remote peers 3 and 4: outside the
+  // two-hop neighbourhood of subjects 1 and 2.
+  ASSERT_EQ(view.apply_message(gossip(3, {{3, 4, 100 * kMiB, 0}})).applied,
+            1u);
+
+  EXPECT_EQ(cache.reputation(1), r1);
+  EXPECT_EQ(cache.reputation(2), r2);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);  // no recompute for 1 or 2
+  // The gossiped endpoints themselves are dirty.
+  cache.reputation(3);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(CachedReputation, OwnerEdgeInvalidatesNeighbourhoodOnly) {
+  SharedHistory view(0);
+  // Remote peer 2 uploaded to 1 (gossiped); 9 is unrelated.
+  ASSERT_EQ(view.apply_message(gossip(2, {{2, 1, 300 * kMiB, 0}})).applied,
+            1u);
+  view.record_local_download(9, kGiB);
+  CachedReputation cache(view, ReputationEngine{});
+  const double r2_before = cache.reputation(2);
+  cache.reputation(9);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Owner downloads from 1: the new edge (1, 0) opens the two-hop path
+  // 2 -> 1 -> 0, so subject 2 — a neighbour of 1 — must be invalidated...
+  view.record_local_download(1, 600 * kMiB);
+  const double r2_after = cache.reputation(2);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_GT(r2_after, r2_before);
+  // ...while 9, outside 1's neighbourhood, stays cached.
+  cache.reputation(9);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(CachedReputation, AblationModesKeepGlobalInvalidation) {
+  // Unbounded Ford-Fulkerson sees paths of any length, so a distant edge
+  // can reroute flow; per-subject tracking would be unsound there.
+  ReputationConfig cfg;
+  cfg.mode = MaxflowMode::kFullFordFulkerson;
+  SharedHistory view(0);
+  view.record_local_download(1, kGiB);
+  CachedReputation cache(view, ReputationEngine(cfg));
+  EXPECT_FALSE(cache.incremental());
+  cache.reputation(1);
+  ASSERT_EQ(view.apply_message(gossip(3, {{3, 4, 100 * kMiB, 0}})).applied,
+            1u);
+  cache.reputation(1);
+  EXPECT_EQ(cache.misses(), 2u);  // any version bump recomputes
+}
+
+TEST(CachedReputation, BoundedTwoHopModeIsIncremental) {
+  ReputationConfig cfg;
+  cfg.mode = MaxflowMode::kBoundedFordFulkerson;
+  cfg.max_path_edges = 2;
+  SharedHistory view(0);
+  CachedReputation two_hop_cache(view, ReputationEngine(cfg));
+  EXPECT_TRUE(two_hop_cache.incremental());
+  cfg.max_path_edges = 3;
+  CachedReputation three_hop_cache(view, ReputationEngine(cfg));
+  EXPECT_FALSE(three_hop_cache.incremental());
+}
+
 }  // namespace
 }  // namespace bc::bartercast

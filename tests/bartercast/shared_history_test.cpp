@@ -116,6 +116,43 @@ TEST(SharedHistory, VersionBumpsOnChangeOnly) {
   EXPECT_EQ(sh.version(), v1);
 }
 
+TEST(SharedHistory, LastChangeTracksGossipEndpoints) {
+  SharedHistory sh(0);
+  EXPECT_EQ(sh.last_change(5), 0u);
+  sh.apply_message(message_from(5, {{5, 6, 100, 40}}));
+  EXPECT_EQ(sh.last_change(5), sh.version());
+  EXPECT_EQ(sh.last_change(6), sh.version());
+  EXPECT_EQ(sh.last_change(7), 0u);  // untouched peer stays at zero
+}
+
+TEST(SharedHistory, LastChangeMarksOwnerEdgeNeighbourhood) {
+  SharedHistory sh(0);
+  sh.apply_message(message_from(5, {{5, 6, 100, 0}}));   // v1: marks {5, 6}
+  sh.apply_message(message_from(8, {{8, 9, 100, 0}}));   // v2: marks {8, 9}
+  const auto v2 = sh.version();
+  // A local transfer with 5 changes an owner-incident edge, which feeds
+  // the two-hop flow of every neighbour of 5 — so 6 is re-marked too.
+  sh.record_local_download(5, 100);
+  const auto v3 = sh.version();
+  EXPECT_GT(v3, v2);
+  EXPECT_EQ(sh.last_change(5), v3);
+  EXPECT_EQ(sh.last_change(6), v3);
+  // Peers outside 5's neighbourhood keep their older marks.
+  EXPECT_EQ(sh.last_change(8), v2);
+  EXPECT_EQ(sh.last_change(9), v2);
+}
+
+TEST(SharedHistory, UnchangedReplayDoesNotTouchLastChange) {
+  SharedHistory sh(0);
+  const auto msg = message_from(5, {{5, 6, 100, 40}});
+  sh.apply_message(msg);
+  const auto v1 = sh.version();
+  sh.apply_message(msg);  // max()-merge: nothing changes
+  EXPECT_EQ(sh.version(), v1);
+  EXPECT_EQ(sh.last_change(5), v1);
+  EXPECT_EQ(sh.last_change(6), v1);
+}
+
 TEST(SharedHistory, HonestReplayIsIdempotent) {
   SharedHistory sh(0);
   const auto msg = message_from(5, {{5, 6, 100, 40}, {5, 7, 10, 20}});

@@ -65,9 +65,10 @@ TEST(FlowGraph, OutAndInEdgesMirror) {
   g.add_capacity(3, 2, 20);
   g.add_capacity(1, 4, 30);
   EXPECT_EQ(g.out_edges(1).size(), 2u);
-  EXPECT_EQ(g.in_edges(2).size(), 2u);
-  EXPECT_TRUE(g.in_edges(2).contains(1));
-  EXPECT_TRUE(g.in_edges(2).contains(3));
+  ASSERT_EQ(g.in_edges(2).size(), 2u);
+  // In-edge spans are ascending by tail peer and carry the edge capacity.
+  EXPECT_EQ(g.in_edges(2)[0], (Edge{1, 10}));
+  EXPECT_EQ(g.in_edges(2)[1], (Edge{3, 20}));
   EXPECT_TRUE(g.check_invariants());
 }
 
@@ -137,6 +138,63 @@ TEST(FlowGraph, NodesAreSortedRegardlessOfInsertionOrder) {
   const std::vector<PeerId> expected{1, 2, 5, 7, 9};
   EXPECT_EQ(a.nodes(), expected);
   EXPECT_EQ(b.nodes(), expected);
+}
+
+TEST(FlowGraph, EdgeSpansSortedAscending) {
+  FlowGraph g;
+  g.add_capacity(5, 9, 1);
+  g.add_capacity(5, 2, 2);
+  g.add_capacity(5, 7, 3);
+  g.add_capacity(4, 7, 4);
+  g.add_capacity(8, 7, 5);
+  const auto out = g.out_edges(5);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Edge{2, 2}));
+  EXPECT_EQ(out[1], (Edge{7, 3}));
+  EXPECT_EQ(out[2], (Edge{9, 1}));
+  const auto in = g.in_edges(7);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_EQ(in[0], (Edge{4, 4}));
+  EXPECT_EQ(in[1], (Edge{5, 3}));
+  EXPECT_EQ(in[2], (Edge{8, 5}));
+}
+
+TEST(FlowGraph, ChurnAddRemoveReAddSamePeer) {
+  FlowGraph g;
+  g.add_capacity(1, 2, 10);
+  g.add_capacity(2, 3, 20);
+  g.add_capacity(3, 1, 30);
+  g.remove_node(2);
+  EXPECT_TRUE(g.check_invariants());
+  // Re-adding the same PeerId must behave as a fresh node: the old
+  // incident edges stay gone and the freed slot is recycled.
+  g.add_capacity(2, 1, 7);
+  EXPECT_TRUE(g.has_node(2));
+  EXPECT_EQ(g.capacity(1, 2), 0);
+  EXPECT_EQ(g.capacity(2, 3), 0);
+  EXPECT_EQ(g.capacity(2, 1), 7);
+  EXPECT_EQ(g.nodes(), (std::vector<PeerId>{1, 2, 3}));
+  EXPECT_EQ(g.index().slot_count(), 3u);
+  EXPECT_TRUE(g.check_invariants());
+  // Further churn keeps nodes() sorted and the invariants intact.
+  g.remove_node(2);
+  g.remove_node(1);
+  g.add_capacity(5, 3, 1);
+  EXPECT_EQ(g.nodes(), (std::vector<PeerId>{3, 5}));
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(FlowGraph, ClearResetsIndexForReuse) {
+  FlowGraph g;
+  g.add_capacity(4, 2, 10);
+  g.add_capacity(2, 9, 5);
+  g.clear();
+  EXPECT_EQ(g.index().slot_count(), 0u);
+  g.add_capacity(9, 4, 3);
+  EXPECT_EQ(g.nodes(), (std::vector<PeerId>{4, 9}));
+  EXPECT_EQ(g.capacity(4, 2), 0);
+  EXPECT_EQ(g.capacity(9, 4), 3);
+  EXPECT_TRUE(g.check_invariants());
 }
 
 TEST(FlowGraphDeathTest, SelfEdgeRejected) {
