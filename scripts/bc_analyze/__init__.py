@@ -40,8 +40,30 @@ Rule catalogue (see DESIGN.md section 9):
                           src/graph/: dense slots are recycled on
                           remove_node() and are not stable peer
                           identifiers; consumers use the PeerId API
+  D4 determinism-taint    interprocedural: no call-graph path from a
+                          nondeterminism source (surviving D1/D2/D3
+                          finding, thread id, pointer order/hash) into a
+                          reputation / gossip / persistence sink
+                          (bartercast::, gossip::, max_flow_*, encode*).
+                          Calls through src/util/rng, sorted_view and
+                          src/obs/ launder the taint.
+  P1 hot-path-allocation  no heap allocation or unreserved container
+                          growth inside loops of BC_OBS_SCOPE-instrumented
+                          hot functions, directly or through calls: the
+                          maxflow/choker hot paths must not hit the
+                          allocator per iteration
+  C4 blocking-under-lock  no blocking or allocating operation while a
+                          bc::util::Mutex is held (LockGuard scope),
+                          directly or through calls; CondVar::wait on the
+                          held mutex is the one sanctioned wait shape
+  C5 lock-order-cycle     no cycles in the cross-function
+                          lock-acquisition-order graph (acquiring B while
+                          holding A, including through calls): opposite-
+                          order acquisition deadlocks
   SUP bad-suppression     a `// bc-analyze: allow(...)` marker that names an
-                          unknown rule or omits the mandatory `-- reason`
+                          unknown rule or omits the mandatory `-- reason`,
+                          or a stale marker whose rule no longer fires on
+                          its target line
 
 Suppression syntax, on the offending line or a comment line directly above:
 
@@ -49,18 +71,22 @@ Suppression syntax, on the offending line or a comment line directly above:
   // bc-analyze: allow(D2,B2) -- wall-clock display only, never in sim state
 """
 
-__version__ = "1.0"
+__version__ = "2.0"
 
 RULES = {
     "D1": "unordered-iteration",
     "D2": "wall-clock",
     "D3": "unseeded-random",
+    "D4": "determinism-taint",
     "B1": "byte-narrowing",
     "B2": "float-equality",
     "C1": "raw-primitive",
     "C2": "unguarded-shared-member",
     "C3": "detached-execution",
+    "C4": "blocking-under-lock",
+    "C5": "lock-order-cycle",
     "G1": "dense-index-leak",
+    "P1": "hot-path-allocation",
     "SUP": "bad-suppression",
 }
 
@@ -75,5 +101,16 @@ RULE_EXEMPT_PREFIXES = {
     "C1": ("src/util/concurrency/",),
     "C2": (),
     "C3": (),
+    # src/obs/: the registry/profiler lock scopes guard cold registration
+    # and snapshot export only; the hot-path counters (Counter::inc) are
+    # lock-free by design and stay covered by C1/C2.
+    "C4": ("src/util/concurrency/", "src/obs/"),
+    "C5": (),
     "G1": ("src/graph/",),
+    # D4 exemptions apply to its *extra* source scans (thread id, pointer
+    # order) and to sink files; the D1-D3-derived sources already honor
+    # those rules' own exemptions.
+    "D4": ("src/obs/", "src/util/logging.hpp", "src/util/logging.cpp",
+           "src/util/concurrency/"),
+    "P1": (),
 }

@@ -1,0 +1,208 @@
+"""Incremental analysis cache.
+
+Two layers, both keyed by content digests so a cache entry can never
+outlive the code it describes:
+
+  * a whole-run cache — the final finding list for one (file set, flags,
+    tool version) digest. A clean re-run with nothing changed replays the
+    stored result without re-parsing a single file, which is what keeps
+    lint.sh's analyzer stage near-instant in the common no-change case.
+  * a per-TU clang cache — the clang-frontend findings for one
+    translation unit, keyed by the digest of the TU *and its include
+    closure* plus the clang binary identity. Editing a header invalidates
+    exactly the TUs that (transitively) include it.
+
+Entries are stored in one JSON file. Corruption or version skew simply
+discards the cache — it is a pure accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+
+from bc_analyze import __version__
+from bc_analyze.model import Finding
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+#: Bump to invalidate every existing cache entry on format changes.
+_FORMAT = 1
+
+
+def tool_digest() -> str:
+    """Digest of the analyzer's own sources: editing any rule invalidates
+    every cache entry, version bump or not."""
+    pkg = Path(__file__).resolve().parent
+    h = hashlib.sha256()
+    for p in sorted(pkg.glob("*.py")):
+        h.update(p.name.encode())
+        h.update(file_digest(p).encode())
+    return h.hexdigest()
+
+
+def file_digest(path: Path, _memo: dict[Path, str] = {}) -> str:
+    """sha256 of the file bytes, memoized per process; missing files hash
+    to a fixed sentinel so a deleted header still changes its closure."""
+    if path not in _memo:
+        try:
+            h = hashlib.sha256(path.read_bytes()).hexdigest()
+        except OSError:
+            h = "missing"
+        _memo[path] = h
+    return _memo[path]
+
+
+class IncludeCloser:
+    """Resolves the project-local `#include "..."` closure of a file.
+
+    Only quoted includes are followed (system headers change with the
+    toolchain, which is part of the clang identity key instead), resolved
+    against the includer's directory and the repo include roots.
+    """
+
+    def __init__(self, repo_root: Path,
+                 include_dirs: tuple[str, ...] = ("src",)):
+        self.repo_root = repo_root
+        self.roots = [repo_root / d for d in include_dirs]
+        self._memo: dict[Path, list[Path]] = {}
+
+    def _resolve(self, spec: str, includer: Path) -> Path | None:
+        for base in [includer.parent, *self.roots]:
+            cand = base / spec
+            if cand.is_file():
+                return cand
+        return None
+
+    def closure(self, path: Path) -> list[Path]:
+        """The file itself plus everything it transitively includes,
+        sorted for a stable digest; include cycles terminate naturally."""
+        out: set[Path] = set()
+        stack = [path]
+        while stack:
+            p = stack.pop()
+            if p in out:
+                continue
+            out.add(p)
+            if p in self._memo:
+                stack.extend(self._memo[p])
+                continue
+            try:
+                text = p.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                self._memo[p] = []
+                continue
+            deps = []
+            for spec in INCLUDE_RE.findall(text):
+                dep = self._resolve(spec, p)
+                if dep is not None:
+                    deps.append(dep)
+            self._memo[p] = deps
+            stack.extend(deps)
+        return sorted(out)
+
+    def closure_digest(self, path: Path, salt: str = "") -> str:
+        h = hashlib.sha256()
+        h.update(salt.encode())
+        for p in self.closure(path):
+            h.update(p.as_posix().encode())
+            h.update(file_digest(p).encode())
+        return h.hexdigest()
+
+
+def _finding_to_dict(f: Finding) -> dict:
+    return {"rule": f.rule, "slug": f.slug, "path": f.path,
+            "line": f.line, "message": f.message}
+
+
+def _finding_from_dict(d: dict) -> Finding:
+    return Finding(rule=d["rule"], slug=d["slug"], path=d["path"],
+                   line=int(d["line"]), message=d["message"])
+
+
+class AnalysisCache:
+    """JSON-file-backed map from digest keys to finding lists (plus a
+    small metadata blob for the whole-run entry)."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        tool = tool_digest()
+        self.data: dict = {"format": _FORMAT, "version": __version__,
+                           "tool": tool, "run": {}, "tu": {}}
+        self.dirty = False
+        self.hits = 0
+        self.misses = 0
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if (loaded.get("format") == _FORMAT
+                    and loaded.get("version") == __version__
+                    and loaded.get("tool") == tool):
+                self.data = loaded
+        except (OSError, ValueError):
+            pass  # absent or corrupt: start fresh
+
+    # -- whole-run layer ----------------------------------------------------
+
+    def get_run(self, key: str) -> tuple[list[Finding], dict] | None:
+        entry = self.data["run"].get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_dict(d) for d in entry["findings"]], \
+            entry.get("meta", {})
+
+    def put_run(self, key: str, findings: list[Finding],
+                meta: dict) -> None:
+        # A handful of entries covers the realistic alternation (the tree,
+        # a fixture dir, a subset path); an unbounded history of dead
+        # trees has no value. Oldest-first eviction via dict order.
+        runs = self.data["run"]
+        runs.pop(key, None)
+        runs[key] = {"findings": [_finding_to_dict(f) for f in findings],
+                     "meta": meta}
+        while len(runs) > 8:
+            runs.pop(next(iter(runs)))
+        self.dirty = True
+
+    # -- per-TU clang layer -------------------------------------------------
+
+    def get_tu(self, key: str) -> list[Finding] | None:
+        entry = self.data["tu"].get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_dict(d) for d in entry]
+
+    def put_tu(self, key: str, findings: list[Finding]) -> None:
+        self.data["tu"][key] = [_finding_to_dict(f) for f in findings]
+        self.dirty = True
+
+    def save(self) -> None:
+        if not self.dirty:
+            return
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(json.dumps(self.data), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            pass  # read-only tree: run uncached
+
+
+def run_key(files: list[Path], repo_root: Path, flags: str) -> str:
+    """Whole-run digest: tool version, the flag set that changes analysis
+    semantics, and every analyzed file's path and content digest."""
+    h = hashlib.sha256()
+    h.update(f"{__version__}|{flags}".encode())
+    for f in sorted(files):
+        try:
+            rel = f.resolve().relative_to(repo_root.resolve()).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        h.update(rel.encode())
+        h.update(file_digest(f).encode())
+    return h.hexdigest()

@@ -1,0 +1,62 @@
+"""SARIF 2.1.0 output: one run, one result per finding.
+
+The emitted log is intentionally minimal but schema-valid: rule metadata
+from the catalogue, physical locations with repo-relative URIs against
+%SRCROOT%, and `error` level throughout (bc-analyze has no warning tier —
+a finding either fails the build or is suppressed in-source with a
+reason). GitHub code scanning ingests this via codeql-action/upload-sarif.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from bc_analyze import RULES, __version__
+from bc_analyze.model import Finding
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def sarif_log(findings: list[Finding]) -> dict:
+    rule_ids = sorted({f.rule for f in findings} | set(RULES))
+    rules = [{
+        "id": rule_id,
+        "name": RULES.get(rule_id, rule_id),
+        "shortDescription": {"text": RULES.get(rule_id, rule_id)},
+        "defaultConfiguration": {"level": "error"},
+    } for rule_id in rule_ids]
+    index = {r["id"]: i for i, r in enumerate(rules)}
+    results = [{
+        "ruleId": f.rule,
+        "ruleIndex": index[f.rule],
+        "level": "error",
+        "message": {"text": f"[{f.slug}] {f.message}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path,
+                                     "uriBaseId": "%SRCROOT%"},
+                "region": {"startLine": f.line},
+            },
+        }],
+    } for f in findings]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "bc-analyze",
+                "version": __version__,
+                "rules": rules,
+            }},
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: Path, findings: list[Finding]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(sarif_log(findings), indent=2) + "\n",
+                    encoding="utf-8")

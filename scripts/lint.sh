@@ -96,10 +96,12 @@ if ! python3 scripts/check_conventions.py "${paths[@]}"; then
   status=1
 fi
 
-# --- stage 3: bc-analyze (determinism & byte accounting) ----------------------
+# --- stage 3: bc-analyze (determinism, bytes, concurrency, dataflow) ----------
 # bc-analyze owns its scope (src bench examples): tests/ contains the
 # analyzer's intentionally-bad fixtures, so the lint paths are not forwarded.
-if ! python3 scripts/bc_analyze.py; then
+# The incremental cache keeps the clean re-run near-instant; --jobs
+# parallelizes the clang TU stage when that frontend is available.
+if ! python3 scripts/bc_analyze.py --jobs "$(nproc 2> /dev/null || echo 2)"; then
   status=1
 fi
 

@@ -77,26 +77,51 @@ class Residual {
   std::unordered_map<std::uint64_t, Bytes> delta_;
 };
 
+/// Per-thread search scratch reused across queries and augmentation rounds:
+/// the reputation sweep calls the maxflow entry points once per subject, and
+/// none of them may pay the allocator per iteration (bc-analyze rule P1).
+/// Buffers grow to the per-thread high-water mark once and are reset with
+/// assign()/clear(). `frontier` holds one candidate list per DFS depth; it
+/// is a deque so growing it mid-recursion never invalidates the candidate
+/// list a shallower frame is iterating.
+struct SearchScratch {
+  std::vector<char> visited;
+  std::vector<PeerId> path;
+  std::vector<PeerId> parent;
+  std::vector<PeerId> queue;  // BFS FIFO: a cursor chases push_backs
+  std::deque<std::vector<std::pair<PeerId, Bytes>>> frontier;
+};
+
+SearchScratch& search_scratch() {
+  thread_local SearchScratch scratch;
+  return scratch;
+}
+
 /// Depth-first search for an augmenting path of at most `depth_left` edges.
 /// Fills `path` with the node sequence s..t on success. `visited` is a
-/// dense slot-indexed bitmap (sized to the graph's slot table).
+/// dense slot-indexed bitmap (sized to the graph's slot table); `frontier`
+/// is the per-depth candidate scratch and `depth` this frame's level.
 bool dfs_find_path(const FlowGraph& g, const Residual& res, PeerId u, PeerId t,
                    int depth_left, std::vector<char>& visited,
-                   std::vector<PeerId>& path) {
+                   std::vector<PeerId>& path,
+                   std::deque<std::vector<std::pair<PeerId, Bytes>>>& frontier,
+                   std::size_t depth) {
   if (u == t) return true;
   if (depth_left == 0) return false;
   visited[g.index().find(u)] = 1;
   bool found = false;
+  if (frontier.size() <= depth) frontier.emplace_back();
   // Collect candidates first so recursion does not interleave with the
   // residual merge-scan; the scan already yields ascending PeerId order.
-  std::vector<std::pair<PeerId, Bytes>> candidates;
+  std::vector<std::pair<PeerId, Bytes>>& candidates = frontier[depth];
+  candidates.clear();
   res.for_each_residual_edge(
       u, [&](PeerId v, Bytes r) { candidates.emplace_back(v, r); });
   for (const auto& [v, _] : candidates) {
     if (visited[g.index().find(v)] != 0) continue;
     path.push_back(v);
     if (dfs_find_path(g, res, v, t, depth_left < 0 ? -1 : depth_left - 1,
-                      visited, path)) {
+                      visited, path, frontier, depth + 1)) {
       found = true;
       break;
     }
@@ -114,10 +139,21 @@ Bytes max_flow_ford_fulkerson(const FlowGraph& g, PeerId s, PeerId t,
   if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
   Residual res(g);
   Bytes flow = 0;
+  SearchScratch& scratch = search_scratch();
+  std::vector<char>& visited = scratch.visited;
+  std::vector<PeerId>& path = scratch.path;
+  path.reserve(g.index().slot_count() + 1);
   for (;;) {
-    std::vector<char> visited(g.index().slot_count(), 0);
-    std::vector<PeerId> path{s};
-    if (!dfs_find_path(g, res, s, t, max_path_edges, visited, path)) break;
+    visited.assign(g.index().slot_count(), 0);
+    path.clear();
+    path.push_back(s);
+    // bc-analyze: allow(P1) -- dfs candidate lists are per-depth scratch in
+    // SearchScratch: they grow to the per-thread high-water mark once and
+    // are reused across queries, steady-state allocation-free
+    if (!dfs_find_path(g, res, s, t, max_path_edges, visited, path,
+                       scratch.frontier, 0)) {
+      break;
+    }
     // Bottleneck capacity along the path (line 6 of Algorithm 1).
     Bytes bottleneck = res.residual(path[0], path[1]);
     for (std::size_t i = 1; i + 1 < path.size(); ++i) {
@@ -137,17 +173,24 @@ Bytes max_flow_edmonds_karp(const FlowGraph& g, PeerId s, PeerId t) {
   if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
   Residual res(g);
   Bytes flow = 0;
+  SearchScratch& scratch = search_scratch();
+  std::vector<PeerId>& parent = scratch.parent;
+  std::vector<PeerId>& queue = scratch.queue;
+  queue.reserve(g.index().slot_count());
   for (;;) {
     // BFS for the shortest augmenting path. The parent table is a dense
     // slot-indexed array: parent[slot(v)] is the BFS predecessor of v, or
-    // kInvalidPeer while v is undiscovered.
-    std::vector<PeerId> parent(g.index().slot_count(), kInvalidPeer);
+    // kInvalidPeer while v is undiscovered. The FIFO is the reusable
+    // `queue` buffer with a cursor instead of pop_front: same visit order,
+    // no per-round deque churn.
+    parent.assign(g.index().slot_count(), kInvalidPeer);
     parent[g.index().find(s)] = s;
-    std::deque<PeerId> queue{s};
+    queue.clear();
+    queue.push_back(s);
+    std::size_t cursor = 0;
     bool reached = false;
-    while (!queue.empty() && !reached) {
-      const PeerId u = queue.front();
-      queue.pop_front();
+    while (cursor < queue.size() && !reached) {
+      const PeerId u = queue[cursor++];
       res.for_each_residual_edge(u, [&](PeerId v, Bytes) {
         if (reached) return;
         PeerId& p = parent[g.index().find(v)];

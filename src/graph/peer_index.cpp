@@ -32,7 +32,10 @@ void PeerIndex::erase(PeerId id) {
   index_of_.erase(it);
   peer_of_[slot] = kInvalidPeer;
   // Keep the free list sorted descending so the smallest slot is recycled
-  // first; removal is rare, so the O(free) insertion is acceptable.
+  // first; removal is rare, so the O(free) insertion is acceptable. The
+  // invariant free_.size() <= peer_of_.size() makes this reserve a one-time
+  // cost: churn inside the simulation round loop never hits the allocator.
+  free_.reserve(peer_of_.size());
   free_.insert(
       std::lower_bound(free_.begin(), free_.end(), slot,
                        std::greater<NodeIndex>()),

@@ -107,7 +107,6 @@ Bytes ReferenceFlowGraph::total_capacity() const {
 void ReferenceFlowGraph::remove_node(PeerId node) {
   auto it = out_.find(node);
   if (it == out_.end()) return;
-  // bc-analyze: allow(D1) -- per-edge erases touch disjoint entries; final state is order-independent
   for (const auto& [to, _] : it->second) {
     in_[to].erase(node);
     --num_edges_;

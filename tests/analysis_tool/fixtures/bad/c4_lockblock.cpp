@@ -1,0 +1,38 @@
+// bc-analyze fixture: blocking or allocating under a held Mutex (C4).
+// Lock scopes must stay short and non-blocking: no I/O, no allocator
+// traffic, no waits on foreign mutexes, and no calls that reach any of
+// those. CondVar::wait on the *held* mutex is the one sanctioned shape
+// (see the good/ counterpart).
+// Expected findings are hard-coded in tests/analysis_tool/test_bc_analyze.py;
+// keep line numbers stable when editing.
+#include <cstdio>
+#include <vector>
+
+class Registry {
+ public:
+  void slow_publish() {
+    util::LockGuard hold(mu_);
+    std::printf("publishing\n");  // line 15: C4, blocking I/O under lock
+  }
+
+  void grow_under_lock(int v) {
+    util::LockGuard hold(mu_);
+    items_.push_back(v);  // line 20: C4, allocation under lock
+  }
+
+  void wait_on_wrong_mutex(util::CondVar& cv, util::Mutex& other) {
+    util::LockGuard hold(mu_);
+    cv.wait(other);  // line 25: C4, waiting on a mutex that is not held
+  }
+
+  void log_locked() {
+    util::LockGuard hold(mu_);
+    emit();  // line 30: C4, call reaches blocking I/O
+  }
+
+  void emit() { std::printf("emitting\n"); }
+
+ private:
+  util::Mutex mu_;
+  std::vector<int> items_ BC_GUARDED_BY(mu_);
+};

@@ -1,0 +1,24 @@
+// bc-analyze fixture: lock-acquisition-order cycle (C5), one direction
+// nested directly, the opposite direction through a call. Two threads
+// running ab() and ba() concurrently deadlock.
+// Expected findings are hard-coded in tests/analysis_tool/test_bc_analyze.py;
+// keep line numbers stable when editing.
+
+class Pair {
+ public:
+  void ab() {
+    util::LockGuard hold_a(a_);
+    util::LockGuard hold_b(b_);  // line 11: C5, edge a_ -> b_
+  }
+
+  void ba() {
+    util::LockGuard hold_b(b_);
+    take_a();  // line 16: C5, edge b_ -> a_ through the call
+  }
+
+  void take_a() { util::LockGuard hold_a(a_); }
+
+ private:
+  util::Mutex a_;
+  util::Mutex b_;
+};

@@ -1,0 +1,58 @@
+// bc-analyze fixture: interprocedural determinism taint (D4).
+// Re-creates the pre-dense-index bug this rule exists to catch: a graph
+// accessor iterating its unordered adjacency map, with the iteration order
+// escaping into bartercast:: reputation evaluation two calls away. D1
+// fires at the source line; D4 fires at the call edge inside the sink.
+// The second consumer routes the same data through sorted_keys(), the
+// sanctioned laundering point, and must stay D4-clean.
+// Expected findings are hard-coded in tests/analysis_tool/test_bc_analyze.py;
+// keep line numbers stable when editing.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace graph {
+
+class FlowGraph {
+ public:
+  std::vector<int> nodes() const {
+    std::vector<int> out;
+    for (const auto& [id, cap] : adj_) {  // line 20: D1, the taint source
+      out.push_back(id);
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<int, int> adj_;
+};
+
+std::vector<int> collect(const FlowGraph& g) { return g.nodes(); }
+
+std::vector<int> sorted_keys(const FlowGraph& g) {
+  std::vector<int> out = g.nodes();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace graph
+
+namespace bartercast {
+
+double evaluate(const graph::FlowGraph& g) {
+  double acc = 0.0;
+  for (int id : graph::collect(g)) {  // line 44: D4, taint reaches the sink
+    acc += id;
+  }
+  return acc;
+}
+
+double evaluate_sorted(const graph::FlowGraph& g) {
+  double acc = 0.0;
+  for (int id : graph::sorted_keys(g)) {  // laundered: no D4 here
+    acc += id;
+  }
+  return acc;
+}
+
+}  // namespace bartercast

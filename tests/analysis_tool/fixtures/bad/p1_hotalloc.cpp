@@ -1,0 +1,32 @@
+// bc-analyze fixture: hot-path allocation (P1), direct and through a call.
+// BC_OBS_SCOPE marks a function as a profiled hot region; allocating per
+// loop iteration inside one — or calling into a function that allocates —
+// is exactly what the batched maxflow kernels must never do.
+// Expected findings are hard-coded in tests/analysis_tool/test_bc_analyze.py;
+// keep line numbers stable when editing.
+#include <vector>
+
+std::vector<int> grow_per_iteration(const std::vector<int>& in) {
+  BC_OBS_SCOPE("fixture.hot_direct");
+  std::vector<int> out;
+  for (int v : in) {
+    out.push_back(v);  // line 13: P1, unreserved growth in a hot loop
+  }
+  return out;
+}
+
+int helper_that_allocates() {
+  int* cell = new int(7);
+  int v = *cell;
+  delete cell;
+  return v;
+}
+
+int hot_caller(int n) {
+  BC_OBS_SCOPE("fixture.hot_call");
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += helper_that_allocates();  // line 29: P1, call reaches allocation
+  }
+  return acc;
+}

@@ -1,0 +1,16 @@
+// bc-analyze fixture: a stale suppression marker. The allow(D1) below
+// targets a loop over a std::vector, where D1 never fires — the marker
+// must itself become a SUP finding so dead markers cannot silently blind
+// the analyzer when the code they guarded moves or is fixed.
+// Expected findings are hard-coded in tests/analysis_tool/test_bc_analyze.py;
+// keep line numbers stable when editing.
+#include <vector>
+
+int sum(const std::vector<int>& values) {
+  int s = 0;
+  // bc-analyze: allow(D1) -- line 11: SUP, vectors iterate deterministically
+  for (int v : values) {
+    s += v;
+  }
+  return s;
+}

@@ -1,0 +1,24 @@
+// bc-analyze fixture: the sanctioned lock-scope shapes. Build outside the
+// lock and swap in under it; wait only on the held mutex's own CondVar;
+// deferred work captured in a lambda does not run with the lock held.
+#include <utility>
+#include <vector>
+
+class Registry {
+ public:
+  void publish(const std::vector<int>& src) {
+    std::vector<int> staged(src);  // allocation happens before the lock
+    util::LockGuard hold(mu_);
+    items_.swap(staged);  // O(1) under the lock
+  }
+
+  void wait_ready() {
+    util::LockGuard hold(mu_);
+    cv_.wait(mu_);  // sanctioned: waiting on the held mutex
+  }
+
+ private:
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::vector<int> items_ BC_GUARDED_BY(mu_);
+};

@@ -1,0 +1,22 @@
+// bc-analyze fixture: consistent lock-acquisition order. Both paths take
+// a_ before b_ (one nested directly, one through a call), so the order
+// graph has the single edge a_ -> b_ and no cycle — C5 must stay silent.
+
+class Pair {
+ public:
+  void first_path() {
+    util::LockGuard hold_a(a_);
+    util::LockGuard hold_b(b_);
+  }
+
+  void second_path() {
+    util::LockGuard hold_a(a_);
+    take_b();
+  }
+
+  void take_b() { util::LockGuard hold_b(b_); }
+
+ private:
+  util::Mutex a_;
+  util::Mutex b_;
+};

@@ -1,0 +1,31 @@
+// bc-analyze fixture: a suppressed nondeterminism source does not taint
+// its callers. The allow(D1) marker carries the written proof that the
+// iteration order cannot matter, so the D4 pass must not seed from it —
+// even though a bartercast:: sink consumes the result through a call.
+#include <unordered_map>
+#include <vector>
+
+namespace graph {
+
+class Ledger {
+ public:
+  long total() const {
+    long sum = 0;
+    // bc-analyze: allow(D1) -- integer sum; addition is commutative, order never escapes
+    for (const auto& [id, amount] : entries_) {
+      sum += amount;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, long> entries_;
+};
+
+}  // namespace graph
+
+namespace bartercast {
+
+long evaluate(const graph::Ledger& ledger) { return ledger.total(); }
+
+}  // namespace bartercast

@@ -1,0 +1,26 @@
+// bc-analyze fixture: the sanctioned hot-path allocation shapes. Growth
+// after an up-front reserve() is amortized-free, and a one-time buffer
+// construction outside the loop is a hoist, not per-iteration traffic —
+// neither may fire P1 inside the BC_OBS_SCOPE region.
+#include <vector>
+
+std::vector<int> gather_presized(const std::vector<int>& in) {
+  BC_OBS_SCOPE("fixture.hot_presized");
+  std::vector<int> out;
+  out.reserve(in.size());
+  for (int v : in) {
+    out.push_back(v);  // sanctioned: receiver was reserved above
+  }
+  return out;
+}
+
+int hoisted_scratch(const std::vector<int>& in) {
+  BC_OBS_SCOPE("fixture.hot_hoisted");
+  std::vector<int> scratch(in.size(), 0);  // once, outside the loop
+  int acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    scratch[i] = in[i] * 2;
+    acc += scratch[i];
+  }
+  return acc;
+}

@@ -9,9 +9,13 @@ ctest as `bc_analyze_selftest`; runs under plain unittest, no third-party
 dependencies.
 """
 
+import json
+import os
 import re
+import stat
 import subprocess
 import sys
+import tempfile
 import unittest
 from pathlib import Path
 
@@ -26,10 +30,10 @@ GITHUB_RE = re.compile(
     r"title=bc-analyze (?P<rule>\w+) [\w-]+::")
 
 
-def run_analyzer(*args):
+def run_analyzer(*args, env=None):
     proc = subprocess.run(
         [sys.executable, str(ANALYZER), *args],
-        capture_output=True, text=True, cwd=REPO_ROOT)
+        capture_output=True, text=True, cwd=REPO_ROOT, env=env)
     return proc
 
 
@@ -84,6 +88,18 @@ class BadFixtures(unittest.TestCase):
             ("sup_bad.cpp", 10, "D1"),
             ("sup_bad.cpp", 14, "SUP"),
             ("sup_bad.cpp", 17, "D1"),
+            # Interprocedural dataflow rules (whole-program call graph).
+            ("d4_taint.cpp", 20, "D1"),
+            ("d4_taint.cpp", 44, "D4"),
+            ("p1_hotalloc.cpp", 13, "P1"),
+            ("p1_hotalloc.cpp", 29, "P1"),
+            ("c4_lockblock.cpp", 15, "C4"),
+            ("c4_lockblock.cpp", 20, "C4"),
+            ("c4_lockblock.cpp", 25, "C4"),
+            ("c4_lockblock.cpp", 30, "C4"),
+            ("c5_lockorder.cpp", 11, "C5"),
+            ("c5_lockorder.cpp", 16, "C5"),
+            ("sup_stale.cpp", 11, "SUP"),
         }
         self.assertEqual(self.findings, expected)
 
@@ -110,7 +126,7 @@ class GoodFixtures(unittest.TestCase):
         self.assertEqual(findings_of(self.proc), set())
 
     def test_suppressions_are_honored(self):
-        self.assertIn("2 suppression(s) honored", self.proc.stderr)
+        self.assertIn("3 suppression(s) honored", self.proc.stderr)
 
 
 class GithubOutput(unittest.TestCase):
@@ -120,6 +136,185 @@ class GithubOutput(unittest.TestCase):
         gh = findings_of(gh_proc, GITHUB_RE)
         self.assertEqual(gh, human)
         self.assertEqual(gh_proc.returncode, 1)
+
+
+class DataflowEvidence(unittest.TestCase):
+    """The interprocedural rules must carry their evidence chain in the
+    message: the call path, the originating source finding, and (for C5)
+    both mutexes on the cyclic edge — a bare file:line is not actionable
+    when the defect lives two calls away."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.lines = run_analyzer(str(FIXTURES / "bad")).stdout.splitlines()
+
+    def _line(self, anchor):
+        return next(l for l in self.lines if anchor in l)
+
+    def test_d4_reports_call_chain_and_source(self):
+        line = self._line("d4_taint.cpp:44:")
+        self.assertIn("bartercast::evaluate -> graph::collect"
+                      " -> graph::FlowGraph::nodes", line)
+        self.assertIn("d4_taint.cpp:20", line)
+
+    def test_p1_transitive_names_the_allocating_callee(self):
+        line = self._line("p1_hotalloc.cpp:29:")
+        self.assertIn("helper_that_allocates", line)
+        self.assertIn("p1_hotalloc.cpp:19", line)
+
+    def test_c4_transitive_names_the_blocking_callee(self):
+        line = self._line("c4_lockblock.cpp:30:")
+        self.assertIn("Registry::emit", line)
+        self.assertIn("c4_lockblock.cpp:33", line)
+
+    def test_c5_cycle_edges_name_both_mutexes(self):
+        for anchor in ("c5_lockorder.cpp:11:", "c5_lockorder.cpp:16:"):
+            line = self._line(anchor)
+            self.assertIn("a_", line)
+            self.assertIn("b_", line)
+
+
+class FrontendDegradation(unittest.TestCase):
+    """The clang AST frontend is opportunistic: a missing compile database,
+    an absent clang binary, or a failing AST dump must all degrade to the
+    tokens frontend without crashing. Only `--frontend clang` may fail."""
+
+    def test_missing_compile_db_falls_back_to_tokens(self):
+        proc = run_analyzer(str(FIXTURES / "good"), "--no-cache",
+                            "--build-dir", "no/such/build")
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        self.assertIn("tokens frontend", proc.stderr)
+        self.assertNotIn("clang-ast", proc.stderr)
+
+    def test_clang_absent_falls_back_to_tokens(self):
+        with tempfile.TemporaryDirectory() as empty:
+            env = dict(os.environ, PATH=empty)
+            proc = run_analyzer(str(FIXTURES / "good"), "--no-cache",
+                                env=env)
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        self.assertIn("tokens frontend", proc.stderr)
+        self.assertNotIn("clang-ast", proc.stderr)
+
+    def test_forced_clang_frontend_fails_hard_without_clang(self):
+        with tempfile.TemporaryDirectory() as empty:
+            env = dict(os.environ, PATH=empty)
+            proc = run_analyzer(str(FIXTURES / "good"), "--no-cache",
+                                "--frontend", "clang", env=env)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("unavailable", proc.stderr)
+
+    @unittest.skipUnless(
+        (REPO_ROOT / "build" / "compile_commands.json").is_file(),
+        "needs a configured build tree")
+    def test_ast_dump_failure_degrades_to_tokens(self):
+        # A clang that is found but whose AST dump fails (here: always
+        # exits 1) must leave the analysis tokens-only, not crash it.
+        with tempfile.TemporaryDirectory() as shim_dir:
+            shim = Path(shim_dir) / "clang++"
+            shim.write_text("#!/bin/sh\nexit 1\n", encoding="utf-8")
+            shim.chmod(shim.stat().st_mode | stat.S_IXUSR | stat.S_IXGRP
+                       | stat.S_IXOTH)
+            env = dict(os.environ,
+                       PATH=shim_dir + os.pathsep + os.environ["PATH"])
+            proc = run_analyzer("--no-cache", "--build-dir", "build",
+                                "--jobs", "4", env=env)
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        self.assertIn("tokens frontend", proc.stderr)
+        self.assertNotIn("clang-ast", proc.stderr)
+
+
+class SarifOutput(unittest.TestCase):
+    def _run_sarif(self, fixture_dir):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "out.sarif"
+            proc = run_analyzer(str(fixture_dir), "--no-cache",
+                                "--sarif", str(out))
+            doc = json.loads(out.read_text(encoding="utf-8"))
+        return proc, doc
+
+    def test_sarif_results_match_human_findings(self):
+        proc, doc = self._run_sarif(FIXTURES / "bad")
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "bc-analyze")
+        got = set()
+        for result in run["results"]:
+            loc = result["locations"][0]["physicalLocation"]
+            self.assertEqual(loc["artifactLocation"]["uriBaseId"],
+                             "%SRCROOT%")
+            got.add((Path(loc["artifactLocation"]["uri"]).name,
+                     loc["region"]["startLine"], result["ruleId"]))
+        self.assertEqual(got, findings_of(proc))
+
+    def test_sarif_clean_run_is_valid_and_empty(self):
+        proc, doc = self._run_sarif(FIXTURES / "good")
+        self.assertEqual(proc.returncode, 0)
+        self.assertEqual(doc["runs"][0]["results"], [])
+        # Rule metadata ships even when nothing fired, so code scanning
+        # can render the catalogue.
+        rules = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        self.assertLessEqual({"D1", "D4", "P1", "C4", "C5", "SUP"}, rules)
+
+
+class CacheBehavior(unittest.TestCase):
+    def test_second_run_is_served_from_cache(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = Path(tmp) / "cache.json"
+            cold = run_analyzer(str(FIXTURES / "bad"),
+                                "--cache-file", str(cache))
+            warm = run_analyzer(str(FIXTURES / "bad"),
+                                "--cache-file", str(cache))
+        self.assertNotIn("cached", cold.stderr)
+        self.assertIn(", cached", warm.stderr)
+        self.assertEqual(findings_of(warm), findings_of(cold))
+        self.assertEqual(warm.returncode, cold.returncode)
+
+    def test_no_cache_flag_disables_replay(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = Path(tmp) / "cache.json"
+            run_analyzer(str(FIXTURES / "bad"), "--cache-file", str(cache))
+            proc = run_analyzer(str(FIXTURES / "bad"), "--no-cache",
+                                "--cache-file", str(cache))
+        self.assertNotIn("cached", proc.stderr)
+
+    def test_content_change_invalidates_the_cache(self):
+        violation = ("#include <unordered_map>\n"
+                     "void walk() {\n"
+                     "  std::unordered_map<int, int> m;\n"
+                     "  for (const auto& kv : m) { (void)kv; }\n"
+                     "}\n")
+        with tempfile.TemporaryDirectory(dir=TESTS_DIR) as tmp:
+            src = Path(tmp) / "cache_probe.cpp"
+            src.write_text(violation, encoding="utf-8")
+            cache = Path(tmp) / "cache.json"
+            first = run_analyzer(tmp, "--cache-file", str(cache))
+            src.write_text(
+                violation + "void walk2() {\n"
+                "  std::unordered_map<int, int> m;\n"
+                "  for (const auto& kv : m) { (void)kv; }\n"
+                "}\n", encoding="utf-8")
+            second = run_analyzer(tmp, "--cache-file", str(cache))
+        self.assertEqual(len(findings_of(first)), 1)
+        self.assertNotIn("cached", second.stderr)
+        self.assertEqual(len(findings_of(second)), 2)
+
+
+class PerformanceFlags(unittest.TestCase):
+    def test_parallel_run_matches_serial(self):
+        serial = run_analyzer(str(FIXTURES / "bad"), "--no-cache")
+        parallel = run_analyzer(str(FIXTURES / "bad"), "--no-cache",
+                                "--jobs", "4")
+        self.assertEqual(findings_of(parallel), findings_of(serial))
+        self.assertEqual(parallel.returncode, serial.returncode)
+
+    def test_blown_time_budget_is_an_infra_error(self):
+        proc = run_analyzer(str(FIXTURES / "good"), "--no-cache",
+                            "--max-seconds", "0")
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("--max-seconds budget", proc.stderr)
 
 
 class CliBehavior(unittest.TestCase):
