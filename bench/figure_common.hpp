@@ -13,6 +13,9 @@
 //                          JSON to f.json at exit
 //   BC_TRACE_OUT=f.json    enable the sim-time tracer, dump Chrome trace
 //                          JSON (open in chrome://tracing or Perfetto)
+//   BC_METRICS_STREAM=f.ndjson  stream windowed metric deltas (one NDJSON
+//                          line per sim-hour window) while the run is in
+//                          flight — tail it to watch a paper-scale bench
 // so hot-path attribution of a paper-scale run is one env var away.
 // Execution: BC_THREADS=N runs the batch reputation sweeps on N pool
 // workers (default 1 = serial); any N is bit-identical by the
@@ -90,6 +93,9 @@ inline bc::community::ScenarioConfig paper_scenario(std::uint64_t seed) {
   if (const char* v = std::getenv("BC_THREADS"); v != nullptr) {
     const long n = std::strtol(v, nullptr, 10);
     if (n >= 1) cfg.threads = static_cast<std::size_t>(n);
+  }
+  if (const char* path = std::getenv("BC_METRICS_STREAM"); path != nullptr) {
+    cfg.metrics_stream_path = path;
   }
   return cfg;
 }

@@ -15,12 +15,21 @@
 //   --trace-out=F   record a sim-time Chrome trace (engine events, gossip
 //                   exchanges, choke rescans, counter tracks) and write it
 //                   to F; open in chrome://tracing or ui.perfetto.dev.
+//   --metrics-stream=F  append one NDJSON line of windowed metric deltas
+//                   per snapshot interval of sim time to F (tail-able
+//                   mid-run; see src/obs/stream.hpp for the schema).
+//   --trace-ring=N  flight-recorder mode: keep only the most recent N
+//                   trace events (implies --trace-out semantics for the
+//                   dump). SIGUSR1 requests a mid-run dump of the ring to
+//                   the --trace-out path; a failed invariant audit dumps
+//                   it automatically before aborting.
 //   --profile       enable the scoped wall-time profiler and print the
 //                   per-site report (maxflow/gossip/choker attribution).
 //   --threads=N     worker threads for the batch reputation sweeps
 //                   (default 1 = serial). Any N produces byte-identical
 //                   output — the parallel_for is deterministic; see
 //                   src/util/concurrency/thread_pool.hpp.
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -43,6 +52,8 @@ int main(int argc, char** argv) {
       {"metrics-out", "write metrics + profile JSON to this path"},
       {"metrics-csv", "write metrics CSV to this path"},
       {"trace-out", "write a sim-time Chrome trace JSON to this path"},
+      {"metrics-stream", "append windowed metric deltas (NDJSON) to this path"},
+      {"trace-ring", "flight recorder: keep only the last N trace events"},
       {"profile", "profile hot sites and print the report"},
       {"threads", "worker threads for the batch reputation sweeps (>= 1)"},
   };
@@ -56,12 +67,31 @@ int main(int argc, char** argv) {
   const std::string metrics_out = flags->get("metrics-out", "");
   const std::string metrics_csv = flags->get("metrics-csv", "");
   const std::string trace_out = flags->get("trace-out", "");
+  const std::string metrics_stream = flags->get("metrics-stream", "");
+  const std::int64_t trace_ring = flags->get_int("trace-ring", 0);
+  if (trace_ring < 0) {
+    std::fprintf(stderr, "error: --trace-ring must be >= 0\n");
+    return 1;
+  }
   const bool profile = flags->get_bool("profile", false) ||
                        !metrics_out.empty() || !trace_out.empty();
   // Enable before the simulator is constructed: schedule_periodics checks
   // the tracer flag to decide whether to emit counter-track snapshots.
   if (profile) obs::Profiler::instance().set_enabled(true);
-  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
+  if (!trace_out.empty()) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.set_enabled(true);
+    tracer.set_dump_path(trace_out);
+    if (trace_ring > 0) {
+      // Flight recorder: bound memory to the last N events, dump the ring
+      // on demand (SIGUSR1, served at window boundaries) and on any
+      // invariant-audit failure, before the default handler aborts.
+      tracer.set_ring_capacity(static_cast<std::size_t>(trace_ring));
+      tracer.arm_signal_dump(SIGUSR1);
+      check::set_failure_observer(
+          [](const std::string&) { obs::Tracer::instance().dump_now(); });
+    }
+  }
 
   trace::GeneratorConfig tcfg;
   tcfg.seed = 2024;
@@ -82,6 +112,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   cfg.threads = static_cast<std::size_t>(threads);
+  cfg.metrics_stream_path = metrics_stream;
 
   community::CommunitySimulator sim(trace::generate(tcfg), cfg);
   sim.run();
@@ -145,8 +176,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: could not write %s\n", trace_out.c_str());
       return 1;
     }
-    std::printf("chrome trace (%zu events) written to %s\n",
-                obs::Tracer::instance().size(), trace_out.c_str());
+    std::printf("chrome trace (%zu events", obs::Tracer::instance().size());
+    if (obs::Tracer::instance().dropped_events() > 0) {
+      std::printf(", %llu older events evicted by the ring",
+                  static_cast<unsigned long long>(
+                      obs::Tracer::instance().dropped_events()));
+    }
+    std::printf(") written to %s\n", trace_out.c_str());
+  }
+  if (!metrics_stream.empty()) {
+    std::printf("metrics stream (NDJSON) written to %s\n",
+                metrics_stream.c_str());
   }
 
   if (check::enabled()) {

@@ -72,12 +72,16 @@ PTR_ORDER_RE = re.compile(
 HOT_MARKER = "BC_OBS_SCOPE"
 
 #: Call targets that sanitize taint: the seeded Rng, key-sorted snapshots,
-#: and observability-only code (exempt from determinism rules by design).
+#: observability-only code (exempt from determinism rules by design), and
+#: the shard-slot identity accessors — a thread-local read routing sharded
+#: instruments, whose only conceivable allocation is one-time thread
+#: registration, never per-iteration hot-path cost.
 LAUNDER_PREFIXES = (
     "src/obs/", "src/util/rng", "src/util/sorted_view",
-    "src/util/logging",
+    "src/util/logging", "src/util/concurrency/shard_slot",
 )
-LAUNDER_NAMES = {"sorted_view", "sorted_keys"}
+LAUNDER_NAMES = {"sorted_view", "sorted_keys", "current_shard_slot",
+                 "current_thread_tag"}
 
 #: Where taint must never arrive: the reputation pipeline (Eq. 1 maxflow
 #: and everything bartercast::), gossip partner selection, persistence and

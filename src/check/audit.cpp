@@ -10,6 +10,7 @@ namespace {
 
 bool g_enabled = kValidateBuild;
 FailureHandler g_handler;  // empty -> default print-and-abort
+std::function<void(const std::string&)> g_observer;
 std::uint64_t g_audits_run = 0;
 std::uint64_t g_violations_found = 0;
 
@@ -30,9 +31,14 @@ void set_failure_handler(FailureHandler handler) {
   g_handler = std::move(handler);
 }
 
+void set_failure_observer(std::function<void(const std::string&)> fn) {
+  g_observer = std::move(fn);
+}
+
 void report_failure(const std::string& name, const Report& report) {
   if (report.ok()) return;
   g_violations_found += report.size();
+  if (g_observer) g_observer(name);
   if (g_handler) {
     g_handler(name, report);
   } else {

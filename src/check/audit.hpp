@@ -39,6 +39,12 @@ using FailureHandler =
 /// print-and-abort behaviour.
 void set_failure_handler(FailureHandler handler);
 
+/// Observer invoked before the failure handler whenever a non-ok report
+/// is routed through report_failure. Runs even when the handler aborts,
+/// so last-gasp diagnostics (e.g. the obs flight-recorder dump) get out
+/// first. Passing nullptr removes it.
+void set_failure_observer(std::function<void(const std::string& name)> fn);
+
 /// Routes a non-ok report through the current failure handler (no-op for a
 /// clean report). Audit call sites outside ScopedAudit use this directly.
 void report_failure(const std::string& name, const Report& report);

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "bartercast/node.hpp"
 #include "bartercast/policy.hpp"
@@ -68,6 +69,10 @@ struct ScenarioConfig {
   /// Chrome 'C' (counter-track) events. Only scheduled while the tracer is
   /// enabled at construction time, so default runs schedule nothing.
   Seconds metrics_snapshot_interval = 1.0 * kHour;
+  /// When non-empty, the simulator streams windowed metric deltas (one
+  /// NDJSON line per metrics_snapshot_interval of sim time, plus a final
+  /// partial window at finalize) to this path. See obs/stream.hpp.
+  std::string metrics_stream_path;
 };
 
 }  // namespace bc::community

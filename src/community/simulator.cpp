@@ -43,6 +43,19 @@ CommunitySimulator::CommunitySimulator(trace::Trace trace,
   BC_ASSERT_MSG(trace_.validate().empty(), "invalid trace");
   BC_ASSERT(config_.round_interval > 0.0);
   BC_ASSERT(config_.optimistic_interval >= config_.round_interval);
+  // One shard slot per parallel_for chunk (<= pool threads), so sharded
+  // instruments can record from the batch reputation sweeps without locks
+  // and still merge bit-identically at any --threads value.
+  obs::Registry::instance().configure_shards(config_.threads);
+  if (!config_.metrics_stream_path.empty()) {
+    const bool ok = metrics_stream_.open(config_.metrics_stream_path,
+                                         obs::Registry::instance());
+    if (!ok) {
+      BC_LOG_TAG(::bc::LogLevel::Warn, "community",
+                 "cannot open metrics stream '%s'; streaming disabled",
+                 config_.metrics_stream_path.c_str());
+    }
+  }
   setup_peers();
   setup_swarms();
   schedule_trace_events();
@@ -181,12 +194,42 @@ void CommunitySimulator::schedule_periodics() {
                                           engine_.now());
         });
   }
+  // Windowed NDJSON stream pump: one delta line per snapshot interval of
+  // sim time (plus the final partial window at finalize).
+  if (metrics_stream_.is_open()) {
+    BC_ASSERT(config_.metrics_snapshot_interval > 0.0);
+    engine_.schedule_periodic(config_.metrics_snapshot_interval,
+                              config_.metrics_snapshot_interval,
+                              [this] { pump_metrics_window(); });
+  }
   for (PeerId id = 0; id < peers_.size(); ++id) {
     // Random phase per peer spreads the gossip load across rounds.
     const Seconds phase = rng_.uniform(0.0, config_.gossip_interval);
     engine_.schedule_periodic(phase, config_.gossip_interval,
                               [this, id] { gossip_tick(id); });
   }
+}
+
+void CommunitySimulator::publish_cache_totals() {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  for (PeerId i = 0; i < peers_.size(); ++i) {
+    cache_hits += node(i).reputation_cache().hits();
+    cache_misses += node(i).reputation_cache().misses();
+  }
+  auto& registry = obs::Registry::instance();
+  // store_total, not inc: these are cumulative tallies owned by the nodes;
+  // the counters mirror them, so each publish overwrites the mirror.
+  registry.counter("reputation.cache_hits").store_total(cache_hits);
+  registry.counter("reputation.cache_misses").store_total(cache_misses);
+}
+
+void CommunitySimulator::pump_metrics_window() {
+  publish_cache_totals();
+  metrics_stream_.emit_window(obs::Registry::instance(), engine_.now());
+  // Flight-recorder poll point: a SIGUSR1-armed dump request raised since
+  // the last window is served here, at a deterministic safe point.
+  obs::Tracer::instance().poll_signal_dump();
 }
 
 void CommunitySimulator::attempt_join(PeerId id, SwarmId swarm_id) {
@@ -510,8 +553,14 @@ void CommunitySimulator::on_barter_message(
       obs::Registry::instance().counter("barter.dropped_own_edge");
   static obs::Counter& dropped_self_report =
       obs::Registry::instance().counter("barter.dropped_self_report");
+  // Per-message record-count distribution (how full the Nh+Nr selection
+  // runs in practice); serial phase, engine callback.
+  static obs::LogHistogram& records_hist =
+      obs::Registry::instance().log_histogram("barter.message_records",
+                                              obs::LogSpec::magnitude());
   ++metrics_.messages.messages_received;
   received.inc();
+  records_hist.observe(static_cast<double>(msg.records.size()));
   if (check::enabled()) {
     check::Report report;
     check::check_message(msg, config_.node.selection, report);
@@ -560,6 +609,13 @@ std::vector<double> CommunitySimulator::batch_system_reputations() {
   // evaluator j's Node (maxflow + its private CachedReputation) and writes
   // only rows[j] — disjoint state, no locks on the hot path. The engine is
   // parked during the sweep, so no other simulator state moves.
+  // Sharded instruments: pool chunks record into per-chunk shards, folded
+  // below at the phase barrier — counts and the value distribution come
+  // out bit-identical at any thread count.
+  auto& registry = obs::Registry::instance();
+  obs::Counter& evals = registry.counter("reputation.evaluations");
+  obs::LogHistogram& values = registry.log_histogram(
+      "reputation.eval_values", obs::LogSpec::signed_unit());
   std::vector<std::vector<double>> rows(n);
   pool_.parallel_for(n, [&](std::size_t j) {
     auto& evaluator = *peers_[j].node;
@@ -568,8 +624,11 @@ std::vector<double> CommunitySimulator::batch_system_reputations() {
     for (std::size_t i = 0; i < n; ++i) {
       if (i == j) continue;
       row[i] = evaluator.reputation(static_cast<PeerId>(i));
+      evals.inc();
+      values.observe(row[i]);
     }
   });
+  registry.fold_shards();  // phase barrier: merge chunk partials
   // Phase 2 (serial): merge in ascending evaluator order. For every subject
   // i this reproduces the exact FP addition order of the serial sweep
   // (sum over j = 0..n-1, j != i), so the result is bit-identical to
@@ -614,16 +673,6 @@ void CommunitySimulator::finalize() {
   obs::Histogram& reg_freeriders = registry.histogram(
       "community.final_reputation_freeriders",
       obs::Histogram::uniform_edges(-1.0, 1.0, 40));
-  // Publish the per-node reputation-cache tallies (kept as plain members so
-  // the nanosecond-scale hit path stays uninstrumented) as registry totals.
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  for (PeerId i = 0; i < n; ++i) {
-    cache_hits += node(i).reputation_cache().hits();
-    cache_misses += node(i).reputation_cache().misses();
-  }
-  registry.counter("reputation.cache_hits").inc(cache_hits);
-  registry.counter("reputation.cache_misses").inc(cache_misses);
   const std::vector<double> reps =
       n >= 2 ? batch_system_reputations() : std::vector<double>(n, 0.0);
   for (PeerId i = 0; i < n; ++i) {
@@ -646,6 +695,15 @@ void CommunitySimulator::finalize() {
       metrics_.reputation_hist_sharers.add(o.final_system_reputation);
       reg_sharers.add(o.final_system_reputation);
     }
+  }
+  // After the final reputation sweep, so its cache activity is included.
+  publish_cache_totals();
+  if (metrics_stream_.is_open()) {
+    // Final partial window: whatever moved since the last periodic pump
+    // (including the finalize-time instruments above), so the stream's
+    // column sums equal the end-of-run cumulative totals exactly.
+    metrics_stream_.emit_window(obs::Registry::instance(), engine_.now());
+    metrics_stream_.close();
   }
 }
 

@@ -31,6 +31,7 @@
 #include "community/scenario.hpp"
 #include "gossip/pss.hpp"
 #include "net/overlay.hpp"
+#include "obs/stream.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 #include "util/concurrency/thread_pool.hpp"
@@ -128,6 +129,14 @@ class CommunitySimulator {
   void handle_completion(SwarmId swarm_id, PeerId peer);
   void finalize();
 
+  /// Republishes the per-node reputation-cache tallies (plain members on
+  /// the nanosecond-scale hit path) as registry counter totals, so the
+  /// windowed stream sees them move during the run, not only at finalize.
+  void publish_cache_totals();
+  /// Periodic --metrics-stream pump: republish derived totals, append one
+  /// delta window, and serve any signal-requested flight-recorder dump.
+  void pump_metrics_window();
+
   /// Batch all-peers sweep: returns the system reputation of every trace
   /// peer (Equation 2), evaluating the full R_i(j) matrix on the thread
   /// pool. Evaluator-major: each pool task owns one evaluator's Node (its
@@ -160,6 +169,8 @@ class CommunitySimulator {
   std::vector<std::unique_ptr<SwarmCtx>> swarms_;
 
   Metrics metrics_;
+  /// Windowed NDJSON export (--metrics-stream); closed at finalize.
+  obs::MetricsStream metrics_stream_;
   std::unordered_map<std::uint64_t, RepCacheEntry> rep_cache_;
   /// Completions reported by Swarm::on_complete during the transfer phase,
   /// processed at a safe point later in the same round.

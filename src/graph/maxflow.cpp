@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "util/assert.hpp"
 
@@ -164,6 +165,10 @@ Bytes max_flow_ford_fulkerson(const FlowGraph& g, PeerId s, PeerId t,
       res.augment(path[i], path[i + 1], bottleneck);
     }
     flow += bottleneck;
+    // Sharded: safe from pool workers, merges deterministically.
+    static obs::Counter& augmentations =
+        obs::Registry::instance().counter("maxflow.augmenting_paths");
+    augmentations.inc();
   }
   return flow;
 }
@@ -222,6 +227,13 @@ Bytes max_flow_edmonds_karp(const FlowGraph& g, PeerId s, PeerId t) {
 
 Bytes max_flow_two_hop(const FlowGraph& g, PeerId s, PeerId t) {
   BC_OBS_SCOPE("maxflow.two_hop");
+  // Sharded instruments: the simulator's batch sweeps call this from pool
+  // workers, where each chunk records into its own shard.
+  static obs::Counter& queries =
+      obs::Registry::instance().counter("maxflow.two_hop_queries");
+  static obs::LogHistogram& flow_bytes = obs::Registry::instance().log_histogram(
+      "maxflow.flow_bytes", obs::LogSpec::magnitude());
+  queries.inc();
   if (s == t || !g.has_node(s) || !g.has_node(t)) return 0;
   Bytes flow = g.capacity(s, t);
   // Paths of length two are pairwise edge-disjoint, so the flow beyond the
@@ -244,6 +256,7 @@ Bytes max_flow_two_hop(const FlowGraph& g, PeerId s, PeerId t) {
       ++j;
     }
   }
+  flow_bytes.observe(static_cast<double>(flow));
   return flow;
 }
 

@@ -58,6 +58,26 @@ std::string metrics_json(const Registry& registry, const Profiler& profiler) {
   }
   out += first ? "},\n" : "\n  },\n";
 
+  out += "  \"log_histograms\": {";
+  first = true;
+  for (const auto& h : snap.log_histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(h.name) + "\": {\"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "[" + std::to_string(h.buckets[i].first) + ", " +
+             std::to_string(h.buckets[i].second) + "]";
+    }
+    out += "], \"total\": " + std::to_string(h.total) +
+           ", \"sum\": " + format_double(h.sum) +
+           ", \"p50\": " + format_double(h.p50) +
+           ", \"p90\": " + format_double(h.p90) +
+           ", \"p99\": " + format_double(h.p99) +
+           ", \"max\": " + format_double(h.max) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
   out += "  \"profile\": {";
   first = true;
   for (const auto& site : profiler.snapshot()) {
@@ -89,6 +109,14 @@ std::string metrics_csv(const Registry& registry) {
       out += h.name + "[le=" + edge + "],histogram," +
              std::to_string(h.counts[i]) + "\n";
     }
+  }
+  for (const auto& h : snap.log_histograms) {
+    for (const auto& [index, count] : h.buckets) {
+      out += h.name + "[bucket=" + std::to_string(index) +
+             "],log_histogram," + std::to_string(count) + "\n";
+    }
+    out += h.name + "[p50],log_histogram," + format_double(h.p50) + "\n";
+    out += h.name + "[p99],log_histogram," + format_double(h.p99) + "\n";
   }
   return out;
 }

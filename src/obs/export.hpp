@@ -6,6 +6,9 @@
 //   { "counters": {...}, "gauges": {...},
 //     "histograms": {"name": {"upper_edges": [...], "counts": [...],
 //                             "total": n, "sum": x}},
+//     "log_histograms": {"name": {"buckets": [[index, count], ...],
+//                                 "total": n, "sum": x, "p50": x,
+//                                 "p90": x, "p99": x, "max": x}},
 //     "profile": {"site": {"calls": n, "total_ns": n}} }
 //
 // All emission is deterministic (instruments sorted by name). Periodic

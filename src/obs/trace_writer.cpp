@@ -1,6 +1,7 @@
 #include "obs/trace_writer.hpp"
 
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -24,6 +25,12 @@ std::string format_double(double v) {
   std::snprintf(buf, sizeof(buf), "%g", v);
   return buf;
 }
+
+/// Set from the signal handler, consumed at poll points. sig_atomic_t is
+/// the only object a standard signal handler may write.
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void request_dump(int /*signum*/) { g_dump_requested = 1; }
 
 }  // namespace
 
@@ -66,6 +73,47 @@ Tracer& Tracer::instance() {
   return tracer;
 }
 
+void Tracer::push(TraceEvent ev) {
+  if (ring_capacity_ == 0 || events_.size() < ring_capacity_) {
+    events_.push_back(std::move(ev));
+    return;
+  }
+  events_[head_] = std::move(ev);
+  head_ = (head_ + 1) % ring_capacity_;
+  ++dropped_;
+}
+
+void Tracer::set_ring_capacity(std::size_t cap) {
+  BC_ASSERT_MSG(events_.empty(),
+                "ring capacity must be configured before recording");
+  ring_capacity_ = cap;
+  if (cap > 0) events_.reserve(cap);
+}
+
+std::vector<TraceEvent> Tracer::chronological() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+bool Tracer::dump_now() const {
+  if (dump_path_.empty()) return false;
+  return write_file(dump_path_);
+}
+
+void Tracer::arm_signal_dump(int signum) {
+  std::signal(signum, &request_dump);
+}
+
+bool Tracer::poll_signal_dump() {
+  if (g_dump_requested == 0) return false;
+  g_dump_requested = 0;
+  return dump_now();
+}
+
 void Tracer::instant(std::string name, std::string category, Seconds t,
                      Args args) {
   if (!enabled_) return;
@@ -75,7 +123,7 @@ void Tracer::instant(std::string name, std::string category, Seconds t,
   ev.phase = 'i';
   ev.ts_us = to_micros(t);
   ev.args = std::move(args);
-  events_.push_back(std::move(ev));
+  push(std::move(ev));
 }
 
 void Tracer::complete(std::string name, std::string category, Seconds start,
@@ -89,7 +137,7 @@ void Tracer::complete(std::string name, std::string category, Seconds start,
   ev.ts_us = to_micros(start);
   ev.dur_us = to_micros(duration);
   ev.args = std::move(args);
-  events_.push_back(std::move(ev));
+  push(std::move(ev));
 }
 
 void Tracer::counter(std::string name, Seconds t, double value) {
@@ -100,13 +148,16 @@ void Tracer::counter(std::string name, Seconds t, double value) {
   ev.phase = 'C';
   ev.ts_us = to_micros(t);
   ev.value = value;
-  events_.push_back(std::move(ev));
+  push(std::move(ev));
 }
 
 void Tracer::write_json(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
-  for (const auto& ev : events_) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    // head_-relative walk resolves ring wrap-around; while unbounded,
+    // head_ is 0 and this is plain insertion order.
+    const TraceEvent& ev = events_[(head_ + i) % events_.size()];
     if (!first) os << ',';
     first = false;
     os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""

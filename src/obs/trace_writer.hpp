@@ -11,7 +11,17 @@
 // Events buffer in memory and are serialized at end of run (write_json /
 // write_file); sims emit at most a few hundred thousand events, well
 // within memory for the scales the tracer is meant for. Serialization is
-// deterministic: integer microsecond timestamps, insertion order.
+// deterministic: integer microsecond timestamps, chronological order.
+//
+// Flight-recorder mode: set_ring_capacity(N) bounds the buffer to the
+// most recent N events — older events are overwritten in place, so a
+// week-long soak records at O(N) memory and a dump shows the last window
+// leading up to whatever went wrong. Dumps are explicit: dump_now()
+// writes the buffer to the configured dump path; arm_signal_dump()
+// requests one from a signal handler (served at the next
+// poll_signal_dump() call site, since writing files inside a handler is
+// undefined); and check::set_failure_observer can route audit failures
+// into dump_now() before the process aborts.
 //
 // Supported phases: 'i' (instant), 'X' (complete, with duration), and
 // 'C' (counter, plotted as a track). String args are JSON-escaped.
@@ -64,8 +74,36 @@ class Tracer {
   void counter(std::string name, Seconds t, double value);
 
   std::size_t size() const { return events_.size(); }
+  /// Raw buffer, insertion order. Chronological only while unbounded;
+  /// with a ring capacity set, use chronological() instead.
   const std::vector<TraceEvent>& events() const { return events_; }
-  void reset() { events_.clear(); }
+  void reset() {
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Flight recorder: bounds the buffer to the most recent `cap` events
+  /// (0 restores unbounded buffering). Only valid while the buffer is
+  /// empty — configure before the run, not mid-flight.
+  void set_ring_capacity(std::size_t cap);
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  /// Events overwritten by ring wrap-around since the last reset().
+  std::uint64_t dropped_events() const { return dropped_; }
+  /// Buffered events oldest-to-newest, resolving ring wrap-around.
+  std::vector<TraceEvent> chronological() const;
+
+  /// Where dump_now() writes; empty disables dumping.
+  void set_dump_path(std::string path) { dump_path_ = std::move(path); }
+  const std::string& dump_path() const { return dump_path_; }
+  /// Writes the current buffer (chronological) to the dump path. False
+  /// when no path is configured or the write failed.
+  bool dump_now() const;
+  /// Installs a handler on `signum` that *requests* a dump; the file is
+  /// written at the next poll_signal_dump() call (signal-safe split).
+  void arm_signal_dump(int signum);
+  /// Serves a pending signal-requested dump; true when one was written.
+  bool poll_signal_dump();
 
   /// Serializes {"traceEvents":[...]} (the JSON-object form of the format).
   void write_json(std::ostream& os) const;
@@ -74,8 +112,14 @@ class Tracer {
   bool write_file(const std::string& path) const;
 
  private:
+  void push(TraceEvent ev);
+
   bool enabled_ = false;
   std::vector<TraceEvent> events_;
+  std::size_t ring_capacity_ = 0;  // 0 = unbounded
+  std::size_t head_ = 0;           // oldest event once the ring wrapped
+  std::uint64_t dropped_ = 0;
+  std::string dump_path_;
 };
 
 }  // namespace bc::obs

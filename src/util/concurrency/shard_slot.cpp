@@ -1,0 +1,23 @@
+#include "util/concurrency/shard_slot.hpp"
+
+namespace bc::util {
+
+namespace {
+
+thread_local std::size_t t_shard_slot = 0;
+
+thread_local char t_thread_tag = 0;
+
+}  // namespace
+
+std::size_t current_shard_slot() { return t_shard_slot; }
+
+ShardSlotScope::ShardSlotScope(std::size_t slot) : prev_(t_shard_slot) {
+  t_shard_slot = slot;
+}
+
+ShardSlotScope::~ShardSlotScope() { t_shard_slot = prev_; }
+
+const void* current_thread_tag() { return &t_thread_tag; }
+
+}  // namespace bc::util

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/concurrency/shard_slot.hpp"
 
 namespace bc::util {
 
@@ -65,6 +66,9 @@ void ThreadPool::parallel_for(std::size_t n,
   // boundaries depend only on (n, chunks), never on scheduling, and bodies
   // write disjoint per-index state, so any interleaving yields the same
   // result. Chunk 0 runs on the calling thread; 1..chunks-1 go to workers.
+  // Each chunk installs its index as the thread's shard slot, so sharded
+  // obs instruments partition recordings by *chunk* (deterministic ranges),
+  // not by which worker happened to run the chunk.
   Batch batch;
   {
     LockGuard lock(batch.mu);
@@ -75,8 +79,11 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t c = 1; c < chunks; ++c) {
       const std::size_t lo = c * n / chunks;
       const std::size_t hi = (c + 1) * n / chunks;
-      queue_.emplace_back([&body, &batch, lo, hi] {
-        for (std::size_t i = lo; i < hi; ++i) body(i);
+      queue_.emplace_back([&body, &batch, c, lo, hi] {
+        {
+          const ShardSlotScope slot(c);
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        }
         LockGuard inner(batch.mu);
         if (--batch.remaining == 0) batch.done.notify_all();
       });
@@ -85,7 +92,10 @@ void ThreadPool::parallel_for(std::size_t n,
   work_ready_.notify_all();
 
   const std::size_t hi0 = n / chunks;
-  for (std::size_t i = 0; i < hi0; ++i) body(i);
+  {
+    const ShardSlotScope slot(0);
+    for (std::size_t i = 0; i < hi0; ++i) body(i);
+  }
 
   LockGuard lock(batch.mu);
   while (batch.remaining > 0) batch.done.wait(batch.mu);

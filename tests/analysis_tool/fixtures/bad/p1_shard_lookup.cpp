@@ -1,0 +1,26 @@
+// bc-analyze fixture: naive per-thread instrument-shard lookup (P1).
+// Lazily registering the caller allocates; paying that lookup per
+// iteration of a profiled hot region is allocator traffic on the hot
+// path — the shard-slot design (chunk-index slots installed once per
+// parallel_for chunk, read through the laundered current_shard_slot())
+// exists precisely to avoid this shape.
+// Expected findings are hard-coded in tests/analysis_tool/test_bc_analyze.py;
+// keep line numbers stable when editing.
+#include <vector>
+
+std::vector<unsigned long long> g_shards;
+
+unsigned long long& slot_for_caller() {
+  g_shards.push_back(0);  // lazy registration: allocates on every call
+  return g_shards.back();
+}
+
+unsigned long long hot_sharded_count(int n) {
+  BC_OBS_SCOPE("fixture.hot_shard_lookup");
+  unsigned long long acc = 0;
+  for (int i = 0; i < n; ++i) {
+    slot_for_caller() += 1;  // line 22: P1, lookup allocates per iteration
+    acc += 1;
+  }
+  return acc;
+}

@@ -1,0 +1,29 @@
+// bc-analyze fixture: the sharded-instrument accessor pattern (P1 clean).
+// current_shard_slot() is the sanctioned thread-local slot lookup: its
+// slow path registers the caller once per thread (amortized-zero, never
+// per-iteration traffic), so P1 launders the accessor by name — a hot
+// loop routing recordings through it into a pre-sized shard array must
+// stay finding-free.
+#include <cstddef>
+#include <vector>
+
+thread_local std::size_t t_slot = static_cast<std::size_t>(-1);
+std::vector<unsigned long long> g_cells(64, 0);
+
+std::size_t current_shard_slot() {
+  if (t_slot == static_cast<std::size_t>(-1)) {
+    g_cells.push_back(0);  // one-time thread registration
+    t_slot = g_cells.size() - 1;
+  }
+  return t_slot;
+}
+
+unsigned long long hot_sharded_record(int n) {
+  BC_OBS_SCOPE("fixture.hot_shard_accessor");
+  unsigned long long acc = 0;
+  for (int i = 0; i < n; ++i) {
+    g_cells[current_shard_slot()] += 1;  // laundered accessor: no P1
+    acc += 1;
+  }
+  return acc;
+}

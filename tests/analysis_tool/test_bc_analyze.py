@@ -93,6 +93,7 @@ class BadFixtures(unittest.TestCase):
             ("d4_taint.cpp", 44, "D4"),
             ("p1_hotalloc.cpp", 13, "P1"),
             ("p1_hotalloc.cpp", 29, "P1"),
+            ("p1_shard_lookup.cpp", 22, "P1"),
             ("c4_lockblock.cpp", 15, "C4"),
             ("c4_lockblock.cpp", 20, "C4"),
             ("c4_lockblock.cpp", 25, "C4"),

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""End-to-end byte-identity of swarm_simulation across --threads 1/2/8.
+"""End-to-end byte-identity of swarm_simulation across --threads 1/2/4/8.
 
 Satellite of the parallel reputation pool (ctest label `parallel`): the
 whole observable surface of the example binary must not change with the
@@ -8,7 +8,10 @@ thread count —
   * stdout of a plain run (tables, correlation, message totals),
   * the metrics CSV (counters/gauges/histogram buckets),
   * the metrics JSON minus its "profile" object (wall times are the one
-    legitimately nondeterministic export; everything else must match).
+    legitimately nondeterministic export; everything else must match),
+  * the windowed NDJSON metrics stream (--metrics-stream), byte for byte:
+    the sharded instruments merge integer state in ascending slot order,
+    so even the in-flight window deltas may not move with the pool size.
 
 Usage: parallel_cli_determinism.py <path-to-swarm_simulation>
 """
@@ -19,7 +22,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-THREAD_COUNTS = (1, 2, 8)
+THREAD_COUNTS = (1, 2, 4, 8)
 
 
 def run_checked(cmd):
@@ -31,15 +34,17 @@ def run_checked(cmd):
 
 
 def collect(binary, threads, tmpdir):
-    """Returns (plain stdout, metrics csv bytes, metrics json sans profile)."""
+    """Returns (plain stdout, csv bytes, json sans profile, stream bytes)."""
     plain = run_checked([binary, f"--threads={threads}"])
     csv_path = Path(tmpdir) / f"metrics_{threads}.csv"
     json_path = Path(tmpdir) / f"metrics_{threads}.json"
+    stream_path = Path(tmpdir) / f"stream_{threads}.ndjson"
     run_checked([binary, f"--threads={threads}",
-                 f"--metrics-csv={csv_path}", f"--metrics-out={json_path}"])
+                 f"--metrics-csv={csv_path}", f"--metrics-out={json_path}",
+                 f"--metrics-stream={stream_path}"])
     doc = json.loads(json_path.read_text(encoding="utf-8"))
     doc.pop("profile", None)  # wall times differ run to run by design
-    return plain.stdout, csv_path.read_bytes(), doc
+    return plain.stdout, csv_path.read_bytes(), doc, stream_path.read_bytes()
 
 
 def main():
@@ -48,10 +53,10 @@ def main():
     binary = sys.argv[1]
     with tempfile.TemporaryDirectory() as tmpdir:
         results = {t: collect(binary, t, tmpdir) for t in THREAD_COUNTS}
-    base_out, base_csv, base_json = results[THREAD_COUNTS[0]]
+    base_out, base_csv, base_json, base_stream = results[THREAD_COUNTS[0]]
     failures = []
     for t in THREAD_COUNTS[1:]:
-        out, csv, doc = results[t]
+        out, csv, doc, stream = results[t]
         if out != base_out:
             failures.append(f"stdout differs between --threads=1 and "
                             f"--threads={t}")
@@ -60,6 +65,9 @@ def main():
                             f"--threads={t}")
         if doc != base_json:
             failures.append(f"metrics JSON (sans profile) differs between "
+                            f"--threads=1 and --threads={t}")
+        if stream != base_stream:
+            failures.append(f"NDJSON metrics stream differs between "
                             f"--threads=1 and --threads={t}")
     if failures:
         sys.exit("FAIL:\n  " + "\n  ".join(failures))

@@ -19,7 +19,8 @@ TEST(ObsExport, MetricsJsonEmptyRegistry) {
   const std::string json = metrics_json(r, p);
   EXPECT_EQ(json,
             "{\n  \"counters\": {},\n  \"gauges\": {},\n"
-            "  \"histograms\": {},\n  \"profile\": {}\n}\n");
+            "  \"histograms\": {},\n  \"log_histograms\": {},\n"
+            "  \"profile\": {}\n}\n");
 }
 
 TEST(ObsExport, MetricsJsonContainsAllKinds) {
