@@ -34,6 +34,7 @@
 #include "bartercast/node.hpp"
 #include "identity/identity.hpp"
 #include "identity/stranger.hpp"
+#include "util/checked.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -140,7 +141,7 @@ Outcome run(IdentityScheme scheme, StrangerPolicy policy) {
         if (stranger) first_served[p].emplace(id, round);
         banned_everywhere = false;
         provider.on_bytes_sent(id, kShare, now);
-        user.received += kShare;
+        user.received = bc::util::checked_add(user.received, kShare);
         if (user.honest) {
           // Honest users reciprocate in kind.
           provider.on_bytes_received(id, kShare, now);

@@ -17,6 +17,7 @@
 #include "analysis/plot.hpp"
 #include "figure_common.hpp"
 #include "trace/deployment.hpp"
+#include "util/assert.hpp"
 #include "util/table.hpp"
 
 using namespace bc;
@@ -48,6 +49,7 @@ int main() {
   }
   std::printf("%s", ta.to_string().c_str());
 
+  BC_ASSERT(!sorted.empty());
   const auto net_down = static_cast<double>(std::count_if(
                             sorted.begin(), sorted.end(),
                             [](Bytes b) { return b < 0; })) /

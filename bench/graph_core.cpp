@@ -92,6 +92,7 @@ std::vector<double> run_ops(G& g, TwoHopFn flow) {
   // bc-analyze: allow(D2) -- benchmark wall-time measurement; never feeds simulation state
   t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < kQueries; ++i) {
+    // bc-analyze: allow(V1) -- DCE-defeating sink inside the timed region; checked arithmetic here would perturb the measured op, and the value is only compared against a sentinel
     sink += g.capacity(pick(), pick());
   }
   ns.push_back(ms_since(t0) * 1e6 / static_cast<double>(kQueries));
@@ -100,6 +101,7 @@ std::vector<double> run_ops(G& g, TwoHopFn flow) {
   t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < kTwoHops; ++i) {
     const PeerId s = pick(), t = pick();
+    // bc-analyze: allow(V1) -- DCE-defeating sink inside the timed region; checked arithmetic here would perturb the measured op, and the value is only compared against a sentinel
     if (s != t) sink += flow(g, s, t);
   }
   ns.push_back(ms_since(t0) * 1e6 / static_cast<double>(kTwoHops));
@@ -130,10 +132,12 @@ std::vector<OpRow> run_op_section(std::string& json) {
   for (const OpRow& row : rows) {
     json += first ? "\n" : ",\n";
     first = false;
+    const double speedup = row.dense_ns > 0.0 ? row.ref_ns / row.dense_ns : 0.0;
     json += "    {\"op\": \"" + std::string(row.op) +
             "\", \"count\": " + std::to_string(row.count) +
             ", \"dense_ns\": " + fmt(row.dense_ns, 1) +
-            ", \"reference_ns\": " + fmt(row.ref_ns, 1) + "}";
+            ", \"reference_ns\": " + fmt(row.ref_ns, 1) +
+            ", \"dense_speedup\": " + fmt(speedup, 2) + "}";
   }
   json += "\n  ],\n";
   return rows;

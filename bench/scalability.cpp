@@ -48,6 +48,7 @@ struct Row {
 };
 
 Row run_scale(std::size_t population, std::uint64_t seed) {
+  BC_ASSERT(population > 0);
   Rng rng(seed);
   Node evaluator(0);
   // The evaluator bartered with a bounded set of direct partners (its

@@ -13,6 +13,7 @@
 
 #include "trace/csv.hpp"
 #include "trace/generator.hpp"
+#include "util/assert.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
               reloaded->requests.size());
 
   // Summaries a researcher would sanity-check before a run.
+  BC_ASSERT(reloaded->duration > 0.0);
   OnlineStats uptime, sessions, size;
   for (const auto& p : reloaded->peers) {
     uptime.add(p.total_uptime() / reloaded->duration);

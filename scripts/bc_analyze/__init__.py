@@ -60,6 +60,24 @@ Rule catalogue (see DESIGN.md section 9):
                           lock-acquisition-order graph (acquiring B while
                           holding A, including through calls): opposite-
                           order acquisition deadlocks
+  V1 possible-overflow    interprocedural interval analysis (absint.py):
+                          unguarded `+`/`*`/`+=`/`*=` on Bytes / int64
+                          accounting values whose derived interval exceeds
+                          [INT64_MIN, INT64_MAX] — signed overflow is UB;
+                          convert to bc::util::checked_add / checked_mul /
+                          saturating_add (src/util/checked.hpp) or add a
+                          dominating BC_ASSERT bound
+  V2 maybe-zero-divisor   a `/` or `%` whose divisor interval contains
+                          zero (Eq. 1 denominators, histogram bucket math,
+                          rates) with no dominating guard proving it
+                          nonzero
+  V3 value-narrowing      value-range upgrade of the syntactic B1 rule:
+                          a loop-carried / int64-derived value stored into
+                          a narrower type (including implicitly, and into
+                          double past 2^53) whose interval does not fit
+  V4 unbounded-index      subscript arithmetic (`v[i + 1]`, `buf[n - 1]`)
+                          with no dominating size()/resize bound or
+                          interval proof that the index stays in range
   SUP bad-suppression     a `// bc-analyze: allow(...)` marker that names an
                           unknown rule or omits the mandatory `-- reason`,
                           or a stale marker whose rule no longer fires on
@@ -87,6 +105,10 @@ RULES = {
     "C5": "lock-order-cycle",
     "G1": "dense-index-leak",
     "P1": "hot-path-allocation",
+    "V1": "possible-overflow",
+    "V2": "maybe-zero-divisor",
+    "V3": "value-narrowing",
+    "V4": "unbounded-index",
     "SUP": "bad-suppression",
 }
 
@@ -113,4 +135,10 @@ RULE_EXEMPT_PREFIXES = {
     "D4": ("src/obs/", "src/util/logging.hpp", "src/util/logging.cpp",
            "src/util/concurrency/"),
     "P1": (),
+    # The checked-arithmetic helpers are the sanctioned overflow handling:
+    # their own bodies manipulate the extremes V1 exists to flag.
+    "V1": ("src/util/checked.hpp",),
+    "V2": (),
+    "V3": (),
+    "V4": (),
 }

@@ -1,0 +1,963 @@
+"""Interval abstract interpretation over the token-frontend CFG-lite.
+
+This is the value-analysis layer of bc-analyze: a classic interval domain
+(lo, hi) with widening/narrowing, evaluated over the scrubbed-code model
+(source.py) and the per-function facts callgraph.py already recovers
+(body extents, loop ranges, lambda ranges). It stays heuristic like the
+rest of the token frontend — it recognizes the declaration, assignment
+and guard shapes of this clang-format-ed tree and errs toward *wider*
+(= more conservative) intervals whenever it cannot classify a shape.
+
+Three exports matter to the rules (rules_value.py):
+
+  * Interval           the lattice element, with saturating arithmetic,
+                       join/meet/widen/narrow and int64-range predicates;
+  * Summaries          bottom-up interprocedural function summaries:
+                       param intervals -> return interval, computed over
+                       the Program call graph (qualified-suffix resolution)
+                       and re-specializable per call site via apply();
+  * FunctionEval       the per-function evaluator: abstract state after a
+                       two-pass loop-widening walk of the body, plus the
+                       dominating-guard facts (enclosing if/while/for
+                       conditions, earlier BC_ASSERT/BC_DASSERT, negated
+                       early-return guards) that refine an interval at a
+                       given body offset.
+
+The domain is deliberately *mathematical*: arithmetic derives the exact
+integer interval without wrapping, so "the derived interval of this
+expression exceeds [INT64_MIN, INT64_MAX]" is precisely the statement
+"this expression can overflow signed 64-bit" that rule V1 reports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from bc_analyze.callgraph import FunctionDef, Program
+from bc_analyze.source import SourceFile, final_identifier, match_paren
+
+INF = float("inf")
+INT64_MIN = -(2 ** 63)
+INT64_MAX = 2 ** 63 - 1
+INT32_MIN = -(2 ** 31)
+INT32_MAX = 2 ** 31 - 1
+UINT32_MAX = 2 ** 32 - 1
+#: Largest integer a double holds exactly; storing a wider interval into a
+#: double is lossy (rule V3's floating-point narrowing case).
+DOUBLE_EXACT_MAX = 2 ** 53
+
+
+def _mul(a, b):
+    """inf-safe product: 0 * inf is 0 here (interval endpoints, not IEEE)."""
+    if a == 0 or b == 0:
+        return 0
+    return a * b
+
+
+class Interval:
+    """A closed integer interval [lo, hi]; endpoints may be +-inf."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo=-INF, hi=INF):
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def const(v) -> "Interval":
+        return Interval(v, v)
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(-INF, INF)
+
+    @staticmethod
+    def bottom() -> "Interval":
+        return Interval(INF, -INF)
+
+    # -- predicates -----------------------------------------------------------
+
+    def is_bottom(self) -> bool:
+        return self.lo > self.hi
+
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, v) -> bool:
+        return not self.is_bottom() and self.lo <= v <= self.hi
+
+    def fits(self, lo, hi) -> bool:
+        """Entirely inside [lo, hi] (bottom fits vacuously)."""
+        return self.is_bottom() or (self.lo >= lo and self.hi <= hi)
+
+    def exceeds_int64(self) -> bool:
+        """The derived value can leave signed-64 range: the overflow test."""
+        return not self.fits(INT64_MIN, INT64_MAX)
+
+    def magnitude(self):
+        """max(|lo|, |hi|): how big the value can get either way."""
+        if self.is_bottom():
+            return 0
+        return max(abs(self.lo), abs(self.hi))
+
+    # -- lattice --------------------------------------------------------------
+
+    def join(self, o: "Interval") -> "Interval":
+        if self.is_bottom():
+            return Interval(o.lo, o.hi)
+        if o.is_bottom():
+            return Interval(self.lo, self.hi)
+        return Interval(min(self.lo, o.lo), max(self.hi, o.hi))
+
+    def meet(self, o: "Interval") -> "Interval":
+        return Interval(max(self.lo, o.lo), min(self.hi, o.hi))
+
+    def widen(self, o: "Interval") -> "Interval":
+        """Standard interval widening: any moving bound jumps to infinity,
+        so ascending chains stabilize in at most two steps per bound."""
+        if self.is_bottom():
+            return Interval(o.lo, o.hi)
+        lo = self.lo if o.lo >= self.lo else -INF
+        hi = self.hi if o.hi <= self.hi else INF
+        return Interval(lo, hi)
+
+    def narrow(self, o: "Interval") -> "Interval":
+        """Narrowing pass after widening: an infinite bound may recover the
+        finite bound the post-fixpoint iterate proves."""
+        lo = o.lo if self.lo == -INF else self.lo
+        hi = o.hi if self.hi == INF else self.hi
+        return Interval(lo, hi)
+
+    # -- arithmetic (mathematical, non-wrapping) ------------------------------
+
+    def add(self, o: "Interval") -> "Interval":
+        if self.is_bottom() or o.is_bottom():
+            return Interval.bottom()
+        return Interval(self.lo + o.lo, self.hi + o.hi)
+
+    def sub(self, o: "Interval") -> "Interval":
+        if self.is_bottom() or o.is_bottom():
+            return Interval.bottom()
+        return Interval(self.lo - o.hi, self.hi - o.lo)
+
+    def mul(self, o: "Interval") -> "Interval":
+        if self.is_bottom() or o.is_bottom():
+            return Interval.bottom()
+        cands = [_mul(a, b) for a in (self.lo, self.hi)
+                 for b in (o.lo, o.hi)]
+        return Interval(min(cands), max(cands))
+
+    def neg(self) -> "Interval":
+        if self.is_bottom():
+            return Interval.bottom()
+        return Interval(-self.hi, -self.lo)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def __eq__(self, o) -> bool:
+        return isinstance(o, Interval) and self.lo == o.lo and self.hi == o.hi
+
+    def __hash__(self):
+        return hash((self.lo, self.hi))
+
+    def __repr__(self):
+        return f"Interval({self.lo}, {self.hi})"
+
+    def __str__(self):
+        def b(v):
+            if v == -INF:
+                return "-inf"
+            if v == INF:
+                return "+inf"
+            if v == INT64_MIN:
+                return "INT64_MIN"
+            if v == INT64_MAX:
+                return "INT64_MAX"
+            return str(v)
+
+        return f"[{b(self.lo)}, {b(self.hi)}]"
+
+
+#: Runtime range of a value of each recognized C++ type: inputs are always
+#: clamped to their type (a Bytes parameter *is* an int64); only derived
+#: arithmetic leaves the range.
+I64_RANGE = Interval(INT64_MIN, INT64_MAX)
+I32_RANGE = Interval(INT32_MIN, INT32_MAX)
+U32_RANGE = Interval(0, UINT32_MAX)
+#: size_t values are clamped at INT64_MAX: real containers never exceed it
+#: and keeping the bound signed stops `a.size() + b.size()` from reading as
+#: an int64 overflow (unsigned wrap is defined behavior, not V1's target).
+SIZE_RANGE = Interval(0, INT64_MAX)
+
+TYPE_RANGES: dict[str, Interval] = {
+    "Bytes": I64_RANGE, "int64_t": I64_RANGE, "std::int64_t": I64_RANGE,
+    "long": I64_RANGE, "ptrdiff_t": I64_RANGE, "std::ptrdiff_t": I64_RANGE,
+    "int": I32_RANGE, "int32_t": I32_RANGE, "std::int32_t": I32_RANGE,
+    "short": Interval(-(2 ** 15), 2 ** 15 - 1),
+    "int16_t": Interval(-(2 ** 15), 2 ** 15 - 1),
+    "int8_t": Interval(-128, 127),
+    "uint64_t": SIZE_RANGE, "std::uint64_t": SIZE_RANGE,
+    "size_t": SIZE_RANGE, "std::size_t": SIZE_RANGE,
+    "uint32_t": U32_RANGE, "std::uint32_t": U32_RANGE,
+    "unsigned": U32_RANGE,
+    "PeerId": U32_RANGE, "NodeIndex": U32_RANGE,
+    "UserId": U32_RANGE, "SwarmId": U32_RANGE, "EventId": SIZE_RANGE,
+    "uint16_t": Interval(0, 2 ** 16 - 1),
+    "uint8_t": Interval(0, 255),
+    "bool": Interval(0, 1),
+    "double": Interval.top(), "float": Interval.top(),
+    "Seconds": Interval.top(), "Rate": Interval.top(),
+}
+
+#: Named constants the evaluator knows without reading their definitions
+#: (units.hpp powers of two and the numeric_limits endpoints).
+KNOWN_CONSTS: dict[str, Interval] = {
+    "kKiB": Interval.const(1 << 10),
+    "kMiB": Interval.const(1 << 20),
+    "kGiB": Interval.const(1 << 30),
+    "INT64_MAX": Interval.const(INT64_MAX),
+    "INT64_MIN": Interval.const(INT64_MIN),
+    "INT32_MAX": Interval.const(INT32_MAX),
+    "UINT32_MAX": Interval.const(UINT32_MAX),
+    "kNoNode": Interval.const(UINT32_MAX),
+    "kInvalidPeer": Interval.const(UINT32_MAX),
+    "true": Interval.const(1),
+    "false": Interval.const(0),
+    "nullptr": Interval.const(0),
+    "M_PI": Interval(3, 4),  # enough precision for nonzero/range proofs
+    "M_E": Interval(2, 3),
+}
+
+INT_LITERAL_RE = re.compile(
+    r"^(?:0[xX][0-9a-fA-F']+|0[bB][01']+|\d[\d']*)(?:[uUlLzZ]*)$")
+FLOAT_LITERAL_RE = re.compile(r"^(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[eE][-+]?\d+)"
+                              r"[fFlL]?$")
+DECL_TYPE_RE = re.compile(
+    r"(?:^|[(,;{]|\s)(?:const\s+|constexpr\s+|static\s+)*"
+    r"((?:std::)?(?:u?int(?:8|16|32|64)_t|size_t|ptrdiff_t)"
+    r"|Bytes|PeerId|NodeIndex|UserId|SwarmId|EventId|Seconds|Rate"
+    r"|long\s+long|long|unsigned(?:\s+int)?|int|short|bool|double|float)"
+    r"\s+(&?\s*[A-Za-z_]\w*)\s*([=;,({)]|\{)")
+ASSERT_RE = re.compile(r"\b(?:BC_ASSERT_MSG|BC_ASSERT|BC_DASSERT|assert)"
+                       r"\s*\(")
+GUARD_KEYWORD_RE = re.compile(r"\b(if|while|for)\s*\(")
+RETURN_RE = re.compile(r"\breturn\b\s*([^;]*);")
+CMP_RE = re.compile(
+    r"^(.*?[^<>=!+\-*/&|])\s*(==|!=|<=|>=|<|>)\s*([^<>=].*)$")
+CALL_HEAD_RE = re.compile(r"^((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*"
+                          r"(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)\s*\(")
+STATIC_CAST_RE = re.compile(r"^static_cast\s*<([^<>]*)>\s*\(")
+NUMERIC_LIMITS_RE = re.compile(
+    r"^(?:std\s*::\s*)?numeric_limits\s*<\s*([\w:\s]+?)\s*>\s*::\s*"
+    r"(max|min|lowest)\s*\(\s*\)$")
+
+
+def type_range(type_text: str) -> Interval:
+    t = re.sub(r"\s+", " ", type_text.replace("const", "")).strip()
+    t = t.rstrip("&* ")
+    return TYPE_RANGES.get(t, TYPE_RANGES.get(t.replace("std::", ""),
+                                              I64_RANGE))
+
+
+def split_top_level(text: str, seps: str) -> list[str]:
+    """Split on single-char separators at bracket depth 0. `<`/`>` are not
+    tracked (comparison vs template is undecidable at token level); the
+    evaluator widens to top on anything it misparses, which is safe."""
+    parts: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for c in text:
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        if depth == 0 and c in seps:
+            parts.append("".join(cur))
+            cur = []
+            parts.append(c)
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    return parts
+
+
+def _split_args(text: str) -> list[str]:
+    parts = split_top_level(text, ",")
+    return [p.strip() for p in parts if p != "," and p.strip()]
+
+
+@dataclass
+class Env:
+    """Evaluation context: variable intervals layered over declared types,
+    plus the interprocedural summary table for call returns."""
+
+    vars: dict[str, Interval] = field(default_factory=dict)
+    types: dict[str, Interval] = field(default_factory=dict)
+    summaries: "Summaries | None" = None
+
+    def get(self, name: str) -> Interval:
+        if name in self.vars:
+            return self.vars[name]
+        if name in KNOWN_CONSTS:
+            return KNOWN_CONSTS[name]
+        return self.types.get(name, I64_RANGE)
+
+    def set(self, name: str, ival: Interval) -> None:
+        self.vars[name] = ival
+
+    def copy(self) -> "Env":
+        return Env(dict(self.vars), self.types, self.summaries)
+
+
+def eval_expr(expr: str, env: Env, depth: int = 0) -> Interval:
+    """Interval of a scrubbed C++ expression. Unrecognized shapes come
+    back as the full int64 range (a storable value of unknown size)."""
+    expr = expr.strip()
+    if not expr or depth > 12:
+        return I64_RANGE
+    # Fully parenthesized: peel.
+    if expr.startswith("(") and match_paren(expr, 0) == len(expr) - 1:
+        return eval_expr(expr[1:-1], env, depth + 1)
+    # Ternary: join of the two arms (the condition refines neither here).
+    q = split_top_level(expr, "?")
+    if len(q) >= 3:
+        arms = split_top_level("".join(q[2:]), ":")
+        if len(arms) >= 3:
+            a = eval_expr(arms[0], env, depth + 1)
+            b = eval_expr("".join(arms[2:]), env, depth + 1)
+            return a.join(b)
+    # Comparison / logical operators produce a bool.
+    if re.search(r"==|!=|<=|>=|&&|\|\|", expr):
+        return Interval(0, 1)
+    # Left shift: `1 << bits` style power-of-two construction. A
+    # non-negative base keeps its lower bound (shifting left never
+    # shrinks a non-negative value); the upper bound is unknown. Stream
+    # `<<` chains land here too — harmless, they never feed arithmetic.
+    if "<<" in expr and ">>" not in expr:
+        lhs = expr.rsplit("<<", 1)[0].strip()
+        if lhs:
+            base_iv = eval_expr(lhs, env, depth + 1)
+            if base_iv.lo >= 0:
+                return Interval(base_iv.lo, INF)
+            return I64_RANGE
+    # Additive split (rightmost at top level; skip unary +/- positions).
+    parts = split_top_level(expr, "+-")
+    if len(parts) > 1:
+        merged = _merge_unary(parts)
+        if len(merged) > 1:
+            acc = eval_expr(merged[0], env, depth + 1)
+            for i in range(1, len(merged) - 1, 2):
+                op, operand = merged[i], merged[i + 1]
+                rhs = eval_expr(operand, env, depth + 1)
+                acc = acc.add(rhs) if op == "+" else acc.sub(rhs)
+            return acc
+    # Multiplicative split. Division/modulo collapse to a conservative
+    # range (quotient magnitude never exceeds the dividend's for |d|>=1).
+    parts = split_top_level(expr, "*/%")
+    parts = [p for p in parts if p.strip() or p in "*/%"]
+    if len(parts) > 1 and all(parts[i] in "*/%" for i in range(1, len(parts), 2)):
+        acc = eval_expr(parts[0], env, depth + 1)
+        for i in range(1, len(parts) - 1, 2):
+            op, operand = parts[i], parts[i + 1]
+            rhs = eval_expr(operand, env, depth + 1)
+            if op == "*":
+                acc = acc.mul(rhs)
+            elif op == "/":
+                m = acc.magnitude()
+                if acc.lo >= 0 and rhs.lo > 0:
+                    # positive / positive: the floor keeps the bound sound
+                    # for integer division (3 / 4 == 0).
+                    lo = (0 if rhs.hi == INF or acc.lo == INF
+                          else int(acc.lo // rhs.hi))
+                    acc = Interval(lo, m)
+                else:
+                    acc = Interval(-m, m)
+            else:
+                m = rhs.magnitude()
+                m = m if m != INF else acc.magnitude()
+                acc = Interval(-m, m)
+        return acc
+    if expr.startswith("!"):
+        return Interval(0, 1)
+    if expr.startswith("-"):
+        return eval_expr(expr[1:], env, depth + 1).neg()
+    if expr.startswith("+"):
+        return eval_expr(expr[1:], env, depth + 1)
+    if expr.startswith("~"):
+        return I64_RANGE
+    if INT_LITERAL_RE.match(expr):
+        body = expr.rstrip("uUlLzZ").replace("'", "")
+        return Interval.const(int(body, 0))
+    if FLOAT_LITERAL_RE.match(expr):
+        try:
+            return Interval.const(float(expr.rstrip("fFlL")))
+        except ValueError:
+            return Interval.top()
+    m = STATIC_CAST_RE.match(expr)
+    if m:
+        close = match_paren(expr, m.end() - 1)
+        if close == len(expr) - 1:
+            # The *value* flows through unchanged: whether it survives the
+            # cast is exactly what rule V3 checks against the target range.
+            return eval_expr(expr[m.end():close], env, depth + 1)
+    m = NUMERIC_LIMITS_RE.match(expr)
+    if m:
+        r = type_range(m.group(1))
+        return Interval.const(r.hi if m.group(2) == "max" else r.lo)
+    ival = _eval_call(expr, env, depth)
+    if ival is not None:
+        return ival
+    # Identifier / member path / subscript: resolve the base identifier.
+    base = final_identifier(expr)
+    if base is not None:
+        ival = env.get(base)
+        if ival == I64_RANGE and env.summaries is not None:
+            const = env.summaries.global_consts.get(base)
+            if const is not None:
+                return const
+        return ival
+    return I64_RANGE
+
+
+def _merge_unary(parts: list[str]) -> list[str]:
+    """Re-attach +/- separators that are unary (operand or exponent signs)
+    so only genuine binary additive operators split the expression."""
+    merged: list[str] = [parts[0]]
+    i = 1
+    while i < len(parts):
+        op, operand = parts[i], parts[i + 1] if i + 1 < len(parts) else ""
+        prev = merged[-1].rstrip()
+        is_unary = (not prev or prev[-1] in "+-*/%=<>&|,(?:"
+                    or prev.endswith(("e", "E"))
+                    and bool(re.search(r"\d[eE]$", prev)))
+        if is_unary:
+            merged[-1] = merged[-1] + op + operand
+        else:
+            merged.append(op)
+            merged.append(operand)
+        i += 2
+    return merged
+
+
+#: Direct models for calls whose value range is part of their contract.
+#: Everything else goes through the interprocedural Summaries table.
+def _eval_call(expr: str, env: Env, depth: int) -> Interval | None:
+    m = CALL_HEAD_RE.match(expr)
+    if not m:
+        return None
+    close = match_paren(expr, m.end() - 1)
+    if close != len(expr) - 1:
+        return None
+    head = re.sub(r"\s+", "", m.group(1))
+    base = re.split(r"::|\.|->", head)[-1]
+    args = _split_args(expr[m.end():close])
+    ivals = [eval_expr(a, env, depth + 1) for a in args if a]
+    if base in ("min",) and len(ivals) >= 2:
+        return Interval(min(v.lo for v in ivals), min(v.hi for v in ivals))
+    if base in ("max",) and len(ivals) >= 2:
+        return Interval(max(v.lo for v in ivals), max(v.hi for v in ivals))
+    if base == "clamp" and len(ivals) == 3:
+        return Interval(ivals[1].lo, ivals[2].hi)
+    if base == "abs" and len(ivals) == 1:
+        m0 = ivals[0].magnitude()
+        return Interval(0, m0)
+    if base in ("uniform_int", "uniform") and len(ivals) == 2:
+        return Interval(ivals[0].lo, ivals[1].hi)
+    if base in ("size", "length", "count", "capacity", "slot_count"):
+        if not args:
+            return SIZE_RANGE
+    if base == "empty":
+        return Interval(0, 1)
+    if base in ("checked_add", "checked_mul", "saturating_add",
+                "saturating_sub"):
+        # The checked.hpp contract: the result is always a valid int64
+        # (debug-asserted or saturated), never an overflowing derivation.
+        return I64_RANGE
+    if env.summaries is not None:
+        ret = env.summaries.call(head, ivals)
+        if ret is not None:
+            return ret
+    return I64_RANGE
+
+
+# --- guards ------------------------------------------------------------------
+
+
+def _negate(cond: str) -> str | None:
+    # Collapse clang-format line wraps: the comparison regexes are
+    # line-oriented and never match across a newline.
+    cond = re.sub(r"\s+", " ", cond).strip()
+    while cond.startswith("(") and match_paren(cond, 0) == len(cond) - 1:
+        cond = cond[1:-1].strip()
+    if cond.startswith("!") and not cond.startswith("!="):
+        inner = cond[1:].strip()
+        # Peel a fully parenthesized operand so `!(n == 0)` yields a
+        # guard the line-oriented comparison regexes can match.
+        while inner.startswith("(") and match_paren(inner, 0) == len(inner) - 1:
+            inner = inner[1:-1].strip()
+        return inner
+    # De Morgan on a top-level disjunction: !(a || b) == !a && !b. An
+    # un-negatable disjunct is dropped — the remaining conjuncts still
+    # hold, so the result stays sound (just weaker). Must run before the
+    # comparison flip: CMP_RE would otherwise bind the first `==` inside
+    # the disjunction and produce a mangled guard.
+    pieces = split_top_level(cond, "|")
+    if any(p == "|" for p in pieces):
+        negs = [_negate(p) for p in pieces if p != "|" and p.strip()]
+        kept = [n for n in negs if n]
+        return " && ".join(kept) if kept else None
+    if any(p == "&" for p in split_top_level(cond, "&")):
+        return None  # !(a && b) is a disjunction: no single guard holds
+    m = CMP_RE.match(cond)
+    if m:
+        flip = {"==": "!=", "!=": "==", "<": ">=", ">=": "<", ">": "<=",
+                "<=": ">"}
+        return f"{m.group(1).strip()} {flip[m.group(2)]} {m.group(3).strip()}"
+    # A bare boolean atom (`xs.empty()`, a flag): prefix with `!` so
+    # consumers like the `!xs.empty()` nonzero bridge can match it.
+    if re.fullmatch(r"[\w:.>\[\]() -]+", cond):
+        return "!" + cond
+    return None
+
+
+def guards_at(fn: FunctionDef, sf: SourceFile, offset: int) -> list[str]:
+    """Conditions that hold at `offset` inside fn's body:
+
+      * enclosing if/while conditions whose brace block spans the offset
+        (and for-loop conditions of enclosing loops),
+      * BC_ASSERT/BC_DASSERT/assert conditions textually earlier in the
+        body (an assert aborts, so later code sees it hold — a heuristic
+        that ignores scoping, biased toward the tree's early-assert style),
+      * negations of earlier early-exit guards:
+        `if (c) return/continue/break/throw` implies !c afterwards.
+
+    Lambda boundaries cut domination: a guard inside a lambda does not
+    protect code outside it and vice versa.
+    """
+    code = sf.code
+    out: list[str] = []
+    body_start, body_end = fn.start + 1, fn.end
+    for m in GUARD_KEYWORD_RE.finditer(code, body_start, min(offset,
+                                                             body_end)):
+        kw = m.group(1)
+        open_idx = m.end() - 1
+        close = match_paren(code, open_idx)
+        if close < 0 or close >= body_end:
+            continue
+        inner = code[open_idx + 1:close]
+        if kw == "for":
+            pieces = split_top_level(inner, ";")
+            conds = [pieces[2]] if len(pieces) >= 3 else []
+        else:
+            conds = [inner]
+        # Short-circuit domination inside the condition itself:
+        # `if (i > 0 && v[i - 1] ...)` — every complete top-level &&-atom
+        # before the offset holds there. A top-level || voids that.
+        if kw != "for" and open_idx < offset < close:
+            if fn.lambda_spans_differ(m.start(), offset):
+                continue
+            prefix = code[open_idx + 1:offset]
+            pieces = split_top_level(prefix, "|")
+            if not any(p == "|" for p in pieces):
+                atoms = [p for p in split_top_level(prefix, "&")
+                         if p != "&"]
+                out.extend(a for a in atoms[:-1] if a.strip())
+            continue
+        j = close + 1
+        while j < body_end and code[j] in " \t\n":
+            j += 1
+        if j < body_end and code[j] == "{":
+            blk_end = match_paren(code, j, "}")
+        else:
+            blk_end = code.find(";", j, body_end)
+        if blk_end < 0:
+            blk_end = body_end
+        if fn.lambda_spans_differ(m.start(), offset):
+            continue
+        if j <= offset < blk_end:
+            out.extend(c for c in conds if c.strip())
+        elif kw == "if" and blk_end < offset:
+            # Early-exit guard: the body must do nothing but leave.
+            body_txt = code[j:blk_end]
+            if re.search(r"\b(return|continue|break|throw)\b", body_txt) \
+                    and len(body_txt) < 160:
+                neg = _negate(inner)
+                if neg:
+                    out.append(neg)
+    for m in ASSERT_RE.finditer(code, body_start, min(offset, body_end)):
+        close = match_paren(code, m.end() - 1)
+        if close < 0:
+            continue
+        if fn.lambda_spans_differ(m.start(), offset):
+            continue
+        cond = _split_args(code[m.end():close])
+        if cond:
+            out.append(cond[0])
+    # Each condition may be a conjunction: flatten on top-level &&. Collapse
+    # interior newlines so the line-oriented comparison regexes still match
+    # conditions that were wrapped by clang-format.
+    flat: list[str] = []
+    for cond in out:
+        for atom in split_top_level(cond, "&"):
+            atom = re.sub(r"\s+", " ", atom).strip().strip("&").strip()
+            if atom:
+                flat.append(atom)
+    return flat
+
+
+def refine(ival: Interval, expr: str, guards: list[str],
+           env: Env | None = None) -> Interval:
+    """Meet `ival` with every guard that constrains `expr` (matched on the
+    normalized expression text or its base identifier)."""
+    norm = re.sub(r"\s+", "", expr)
+    base = final_identifier(expr)
+    env = env or Env()
+    for g in guards:
+        m = CMP_RE.match(g.strip())
+        if not m:
+            continue
+        left, op, right = (m.group(1).strip(), m.group(2),
+                           m.group(3).strip())
+        lnorm = re.sub(r"\s+", "", left)
+        rnorm = re.sub(r"\s+", "", right)
+        if lnorm == norm or (base is not None
+                             and final_identifier(left) == base
+                             and re.fullmatch(r"[\w.\->\[\]]+", lnorm)):
+            bound = eval_expr(right, env)
+            ival = _apply_cmp(ival, op, bound)
+        elif rnorm == norm or (base is not None
+                               and final_identifier(right) == base
+                               and re.fullmatch(r"[\w.\->\[\]]+", rnorm)):
+            flip = {"<": ">", ">": "<", "<=": ">=", ">=": "<=",
+                    "==": "==", "!=": "!="}
+            bound = eval_expr(left, env)
+            ival = _apply_cmp(ival, flip[op], bound)
+    return ival
+
+
+def _apply_cmp(ival: Interval, op: str, bound: Interval) -> Interval:
+    if bound.is_bottom():
+        return ival
+    if op == "==":
+        return ival.meet(bound)
+    if op == "<":
+        return ival.meet(Interval(-INF, bound.hi - 1))
+    if op == "<=":
+        return ival.meet(Interval(-INF, bound.hi))
+    if op == ">":
+        return ival.meet(Interval(bound.lo + 1, INF))
+    if op == ">=":
+        return ival.meet(Interval(bound.lo, INF))
+    if op == "!=" and bound.is_const():
+        if ival.lo == bound.lo:
+            return Interval(ival.lo + 1, ival.hi)
+        if ival.hi == bound.hi:
+            return Interval(ival.lo, ival.hi - 1)
+    return ival
+
+
+# --- per-function evaluation -------------------------------------------------
+
+PARAM_SPLIT_RE = re.compile(r"^(.*?)([A-Za-z_]\w*)$")
+DEFAULT_ARG_RE = re.compile(r"=[^,]*$")
+#: `)` in the anchor set catches single-statement loop/if bodies
+#: (`for (...) total += e.cap;`), at the cost of also seeing guarded
+#: assignments — harmless, the state walk is conservative either way.
+ASSIGN_RE = re.compile(
+    r"(?:^|[;{})]\s*)([A-Za-z_][\w.\->\[\]]*)\s*([-+*]?)=(?!=)\s*([^;{}]+);")
+#: Declaration with initializer (`const auto n = expr;`, `Bytes x = 0;`):
+#: binds the name to the initializer's interval. The single type word
+#: before the name keeps this from matching plain binary assignments.
+DECL_INIT_RE = re.compile(
+    r"(?:^|[;{})]\s*)(?:const\s+|constexpr\s+|static\s+)*"
+    r"(auto|[A-Za-z_][\w:]*(?:<[^<>;=]*>)?)\s+"
+    r"([A-Za-z_]\w*)\s*=(?!=)\s*([^;{}]+);")
+#: Statement keywords the declaration heuristic must not read as types.
+_NOT_A_TYPE = frozenset(("return", "else", "case", "delete", "throw",
+                         "co_return", "co_yield", "goto", "new"))
+
+
+def param_list(fn: FunctionDef, code: str) -> list[tuple[str, str]]:
+    """(type_text, name) for each parameter of fn, parsed from the
+    declaration head before the body brace. Empty on parse failure."""
+    j = fn.start - 1
+    while j >= 0 and code[j] in " \t\n":
+        j -= 1
+    # Skip trailing qualifiers / initializer lists back to the param ).
+    guard = 0
+    while j >= 0 and guard < 64:
+        guard += 1
+        if code[j] == ")":
+            open_idx = _match_open(code, j)
+            if open_idx < 0:
+                return []
+            word_end = open_idx
+            k = word_end - 1
+            while k >= 0 and (code[k].isalnum() or code[k] in "_:~"):
+                k -= 1
+            word = code[k + 1:word_end].rsplit("::", 1)[-1]
+            if word == fn.name or word == "operator" or word.startswith("~"):
+                inner = code[open_idx + 1:j]
+                return _parse_params(inner)
+            j = open_idx - 1
+            continue
+        if code[j].isalnum() or code[j] in "_ \t\n:,&*<>{}":
+            j -= 1
+            continue
+        return []
+    return []
+
+
+def _match_open(code: str, close_idx: int) -> int:
+    depth = 0
+    for i in range(close_idx, -1, -1):
+        if code[i] == ")":
+            depth += 1
+        elif code[i] == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _parse_params(inner: str) -> list[tuple[str, str]]:
+    out: list[tuple[str, str]] = []
+    for piece in _split_args(inner):
+        if not piece or piece == "void":
+            continue
+        piece = DEFAULT_ARG_RE.sub("", piece).strip()
+        m = PARAM_SPLIT_RE.match(piece)
+        if not m:
+            continue
+        type_text, name = m.group(1).strip(), m.group(2)
+        if not type_text:
+            continue  # unnamed or misparsed
+        out.append((type_text, name))
+    return out
+
+
+class FunctionEval:
+    """Abstract state of one function body: a two-pass walk (widening on
+    the second visit of any assignment inside a loop range) yielding the
+    final environment, the set of loop-widened names, and the joined
+    return interval."""
+
+    def __init__(self, fn: FunctionDef, sf: SourceFile, env: Env):
+        self.fn = fn
+        self.sf = sf
+        self.env = env
+        self.widened: set[str] = set()
+        self.returns: Interval = Interval.bottom()
+        self._run()
+
+    def _run(self) -> None:
+        code = self.sf.code
+        fn = self.fn
+        # Scans start AT the opening brace (not one past it): the anchor
+        # classes include `{`, and starting past it would skip a binding
+        # in the body's first statement.
+        for m in DECL_INIT_RE.finditer(code, fn.start, fn.end):
+            type_word = m.group(1)
+            if type_word in _NOT_A_TYPE:
+                continue
+            ival = eval_expr(m.group(3), self.env)
+            if type_word != "auto":
+                ival = ival.meet(type_range(type_word))
+                if ival.is_bottom():
+                    ival = type_range(type_word)
+            self.env.set(m.group(2), ival)
+        for pass_no in (0, 1):
+            for m in ASSIGN_RE.finditer(code, fn.start, fn.end):
+                lhs, op, rhs = m.group(1), m.group(2), m.group(3)
+                base = final_identifier(lhs)
+                if base is None:
+                    continue
+                cur = self.env.get(base)
+                rhs_ival = eval_expr(rhs, self.env)
+                if op == "+":
+                    new = cur.add(rhs_ival)
+                elif op == "-":
+                    new = cur.sub(rhs_ival)
+                elif op == "*":
+                    new = cur.mul(rhs_ival)
+                else:
+                    new = rhs_ival
+                if fn.loop_depth_at(m.start(1)) > 0 and pass_no > 0:
+                    w = cur.widen(new)
+                    if w != cur:
+                        self.widened.add(base)
+                    new = w
+                self.env.set(base, new)
+        for m in RETURN_RE.finditer(code, fn.start + 1, fn.end):
+            if fn.in_lambda(m.start()):
+                continue
+            expr = m.group(1).strip()
+            if expr:
+                # Refine by the guards dominating this return: `if (x < 0)
+                # return 0; if (x > k) return k; return x;` summarizes to
+                # [0, k], which is what makes summaries compose.
+                ival = refine(eval_expr(expr, self.env), expr,
+                              guards_at(fn, self.sf, m.start()), self.env)
+                self.returns = self.returns.join(ival)
+
+    def interval_at(self, expr: str, offset: int) -> Interval:
+        """Interval of `expr` at a body offset, refined by every
+        dominating guard."""
+        ival = eval_expr(expr, self.env)
+        return refine(ival, expr, guards_at(self.fn, self.sf, offset),
+                      self.env)
+
+
+# --- interprocedural summaries ----------------------------------------------
+
+
+class Summaries:
+    """Bottom-up function summaries over the Program call graph.
+
+    For each definition the summary is the return interval computed with
+    parameters bound to their declared-type ranges; two fixpoint passes
+    with widening make loops and (bounded) recursion converge. `call()`
+    re-specializes a summary for concrete argument intervals at a call
+    site — the "param intervals -> return interval" direction — with a
+    depth-1 re-evaluation that consults the global table for nested calls.
+    """
+
+    MAX_SPECIALIZE = 1  # re-evaluation depth for per-call-site refinement
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.ret: dict[int, Interval] = {}
+        self._params: dict[int, list[tuple[str, str]]] = {}
+        self._types: dict[str, dict[str, Interval]] = {}
+        self._depth = 0
+        for sf in program.sources:
+            self._types[sf.rel] = _declared_types(sf)
+        # A .cpp body sees the members its companion header declares (and
+        # vice versa): overlay the companion's table under the file's own.
+        merged: dict[str, dict[str, Interval]] = {}
+        for rel, own in self._types.items():
+            comp = rel[:-4] + (".hpp" if rel.endswith(".cpp") else ".cpp")
+            table = dict(self._types.get(comp, {}))
+            table.update(own)
+            merged[rel] = table
+        self._types = merged
+        # File-scope constexpr constants are effectively global: `kDay` in
+        # util/units.hpp means the same value at every use site in the
+        # tree. Names whose definitions disagree across files are dropped
+        # rather than guessed. Two passes resolve chains (kDay = 24*kHour).
+        consts: dict[str, Interval] = {}
+        clash: set[str] = set()
+        for _ in range(2):
+            cenv = Env(types=consts)
+            for sf in program.sources:
+                for line in sf.code_lines:
+                    if line.lstrip().startswith("#"):
+                        continue
+                    for m in CONST_DEF_RE.finditer(line):
+                        ival = eval_expr(m.group(2), cenv)
+                        if ival.is_bottom() or ival.magnitude() == INF:
+                            continue
+                        name = m.group(1)
+                        if name in consts and consts[name] != ival:
+                            clash.add(name)
+                        consts[name] = ival
+        for name in clash:
+            consts.pop(name, None)
+        self.global_consts = consts
+        # Bottom-up passes run without per-call-site specialization (the
+        # _depth latch): the table alone feeds nested calls, so mutual
+        # recursion cannot re-enter endlessly.
+        self._depth = 1
+        for _ in range(2):
+            for fn in program.functions:
+                self._summarize(fn)
+        self._depth = 0
+
+    def env_for(self, fn: FunctionDef) -> Env:
+        """Evaluation environment for fn with every parameter bound to its
+        declared-type range — the entry point for the value rules."""
+        return self._env_for(fn, None)
+
+    def _env_for(self, fn: FunctionDef,
+                 arg_ivals: list[Interval] | None) -> Env:
+        sf = self.program.by_rel[fn.rel]
+        params = self._params.get(id(fn))
+        if params is None:
+            params = param_list(fn, sf.code)
+            self._params[id(fn)] = params
+        env = Env(types=dict(self._types.get(fn.rel, {})), summaries=self)
+        for i, (type_text, name) in enumerate(params):
+            if arg_ivals is not None and i < len(arg_ivals):
+                ival = arg_ivals[i].meet(type_range(type_text))
+                if ival.is_bottom():
+                    ival = type_range(type_text)
+            else:
+                ival = type_range(type_text)
+            env.set(name, ival)
+        return env
+
+    def _summarize(self, fn: FunctionDef) -> None:
+        sf = self.program.by_rel[fn.rel]
+        ev = FunctionEval(fn, sf, self._env_for(fn, None))
+        ret = ev.returns
+        prev = self.ret.get(id(fn))
+        if prev is not None:
+            ret = prev.widen(prev.join(ret))
+        self.ret[id(fn)] = ret
+
+    def call(self, name: str,
+             arg_ivals: list[Interval]) -> Interval | None:
+        """Joined return interval over every definition a call to `name`
+        may reach (qualified-suffix resolution), re-specialized for the
+        argument intervals. None when nothing resolves."""
+        cands = self.program.resolve(name.rsplit(".", 1)[-1]
+                                     .rsplit("->", 1)[-1])
+        if not cands:
+            return None
+        specialize = bool(arg_ivals) and self._depth < self.MAX_SPECIALIZE
+        out = Interval.bottom()
+        for fn in cands[:4]:  # overload sets stay tiny in this tree
+            base = self.ret.get(id(fn), Interval.bottom())
+            if specialize:
+                self._depth += 1
+                try:
+                    sf = self.program.by_rel[fn.rel]
+                    ev = FunctionEval(fn, sf, self._env_for(fn, arg_ivals))
+                    spec = ev.returns
+                finally:
+                    self._depth -= 1
+                if not spec.is_bottom():
+                    base = spec.meet(base) if not base.is_bottom() else spec
+            out = out.join(base)
+        return None if out.is_bottom() else out
+
+
+CONST_DEF_RE = re.compile(
+    r"\bconstexpr\s+[\w:<>\s]+?\s([A-Za-z_]\w*)\s*=\s*([^;]+);")
+
+
+def _declared_types(sf: SourceFile) -> dict[str, Interval]:
+    """name -> declared-type runtime range for every recognized local,
+    member or parameter declaration in the file, with `constexpr` constant
+    definitions narrowed to their evaluated interval (two passes, so a
+    constant defined in terms of an earlier one resolves too)."""
+    out: dict[str, Interval] = {}
+    for line in sf.code_lines:
+        if line.lstrip().startswith("#"):
+            continue
+        for m in DECL_TYPE_RE.finditer(line):
+            name = m.group(2).lstrip("& ")
+            out[name] = type_range(m.group(1))
+    for _ in range(2):
+        env = Env(types=out)
+        for line in sf.code_lines:
+            if line.lstrip().startswith("#"):
+                continue
+            for m in CONST_DEF_RE.finditer(line):
+                ival = eval_expr(m.group(2), env)
+                if not ival.is_bottom() and ival.magnitude() != INF:
+                    out[m.group(1)] = ival
+    return out

@@ -29,6 +29,7 @@ from bc_analyze.rules_dataflow import (
 )
 from bc_analyze.rules_determinism import check_d1, check_d2, check_d3
 from bc_analyze.rules_graph import check_g1
+from bc_analyze.rules_value import run_value_rules
 from bc_analyze.sarif import write_sarif
 from bc_analyze.source import SourceFile, load_source
 
@@ -228,6 +229,7 @@ class Analysis:
         findings.extend(check_p1(program, _exempt))
         findings.extend(check_c4(program, _exempt))
         findings.extend(check_c5(program, _exempt))
+        findings.extend(run_value_rules(program, _exempt))
         return findings
 
     def stale_suppression_findings(self) -> list[Finding]:
@@ -299,7 +301,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description=("BarterCast determinism, byte-accounting, concurrency"
                      " & hot-path static analyzer (intraprocedural rules"
                      " D1-D3, B1-B2, C1-C3, G1; interprocedural dataflow"
-                     " rules D4, P1, C4, C5)"))
+                     " rules D4, P1, C4, C5; interval value-analysis rules"
+                     " V1-V4)"))
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories to analyze"
                              " (default: src bench examples)")

@@ -1,5 +1,6 @@
 #include "analysis/experiment.hpp"
 
+#include "util/assert.hpp"
 #include "util/stats.hpp"
 
 namespace bc::analysis {
@@ -46,6 +47,7 @@ double contribution_rank_correlation(const community::Metrics& metrics) {
 }
 
 Table reputation_table(const community::Metrics& metrics, Seconds time_unit) {
+  BC_ASSERT(time_unit > 0.0);
   Table t({"time", "sharers", "freeriders"});
   const auto& s = metrics.reputation_sharers;
   const auto& f = metrics.reputation_freeriders;
@@ -58,6 +60,7 @@ Table reputation_table(const community::Metrics& metrics, Seconds time_unit) {
 }
 
 Table speed_table(const community::Metrics& metrics, Seconds time_unit) {
+  BC_ASSERT(time_unit > 0.0);
   Table t({"time", "sharers_KiBps", "freeriders_KiBps"});
   const auto& s = metrics.speed_sharers;
   const auto& f = metrics.speed_freeriders;

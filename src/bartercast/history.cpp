@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/checked.hpp"
 #include "util/sorted_view.hpp"
 
 namespace bc::bartercast {
@@ -21,15 +22,19 @@ HistoryEntry& PrivateHistory::entry(PeerId remote, Seconds now) {
 
 void PrivateHistory::record_upload(PeerId remote, Bytes amount, Seconds now) {
   BC_ASSERT(amount >= 0);
-  entry(remote, now).uploaded += amount;
-  total_up_ += amount;
+  // Owner-local ledger: a wrap here is a program bug, not adversarial
+  // input, so checked (debug-asserted) addition is the right policy.
+  HistoryEntry& e = entry(remote, now);
+  e.uploaded = util::checked_add(e.uploaded, amount);
+  total_up_ = util::checked_add(total_up_, amount);
 }
 
 void PrivateHistory::record_download(PeerId remote, Bytes amount,
                                      Seconds now) {
   BC_ASSERT(amount >= 0);
-  entry(remote, now).downloaded += amount;
-  total_down_ += amount;
+  HistoryEntry& e = entry(remote, now);
+  e.downloaded = util::checked_add(e.downloaded, amount);
+  total_down_ = util::checked_add(total_down_, amount);
 }
 
 void PrivateHistory::touch(PeerId remote, Seconds now) { entry(remote, now); }

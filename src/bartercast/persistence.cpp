@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -84,6 +85,11 @@ std::unique_ptr<Node> load_node(std::istream& is, const NodeConfig& config,
     return nullptr;
   };
 
+  // Ids come from an untrusted file as int64; anything outside PeerId's
+  // range would truncate in the cast below, so such records are rejected.
+  constexpr std::int64_t kMaxId =
+      static_cast<std::int64_t>(std::numeric_limits<PeerId>::max());
+
   std::string line;
   std::size_t line_no = 0;
   std::unique_ptr<Node> node;
@@ -104,6 +110,7 @@ std::unique_ptr<Node> load_node(std::istream& is, const NodeConfig& config,
       if (version != kPersistenceVersion) {
         return fail("unsupported format version " + fields[1]);
       }
+      if (id < 0 || id > kMaxId) return bad();
       if (node != nullptr) return fail("duplicate header");
       node = std::make_unique<Node>(static_cast<PeerId>(id), config);
     } else if (tag == "#history") {
@@ -116,6 +123,7 @@ std::unique_ptr<Node> load_node(std::istream& is, const NodeConfig& config,
         return bad();
       }
       if (up < 0 || down < 0) return bad();
+      if (peer < 0 || peer > kMaxId) return bad();
       const auto remote = static_cast<PeerId>(peer);
       if (remote == node->id()) return bad();
       if (up > 0) node->on_bytes_sent(remote, up, seen);
@@ -129,6 +137,7 @@ std::unique_ptr<Node> load_node(std::istream& is, const NodeConfig& config,
         return bad();
       }
       if (amount <= 0 || from == to) return bad();
+      if (from < 0 || from > kMaxId || to < 0 || to > kMaxId) return bad();
       if (static_cast<PeerId>(from) == node->id() ||
           static_cast<PeerId>(to) == node->id()) {
         return bad();  // owner edges come from the history section only

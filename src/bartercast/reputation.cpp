@@ -29,6 +29,7 @@ Bytes ReputationEngine::flow(const graph::FlowGraph& graph, PeerId from,
 }
 
 double ReputationEngine::scale(Bytes flow_difference) const {
+  BC_ASSERT(config_.arctan_unit > 0);
   const double x = static_cast<double>(flow_difference) /
                    static_cast<double>(config_.arctan_unit);
   return std::atan(x) / (M_PI / 2.0);

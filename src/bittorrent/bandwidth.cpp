@@ -21,6 +21,7 @@ std::vector<Rate> allocate_rates(
     const auto& l = links[i];
     const AccessProfile p = profile(l.uploader);
     BC_ASSERT(p.uplink >= 0.0);
+    BC_ASSERT(out_count[l.uploader] > 0);
     rates[i] = p.uplink / out_count[l.uploader];
     in_sum[l.downloader] += rates[i];
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/checked.hpp"
 
 namespace bc::bt {
 
@@ -74,6 +75,7 @@ bool Swarm::is_complete(PeerId peer) const {
 
 double Swarm::progress(PeerId peer) const {
   const auto& m = member(peer);
+  BC_ASSERT(m.have.size() > 0);
   return static_cast<double>(m.have.count()) /
          static_cast<double>(m.have.size());
 }
@@ -113,9 +115,11 @@ Bytes Swarm::transfer(PeerId uploader, PeerId downloader, Bytes budget) {
     }
     const Bytes need = torrent_.piece_bytes(link.piece) - link.piece_progress;
     const Bytes chunk = std::min(need, budget);
-    link.piece_progress += chunk;
-    link.round_bytes += chunk;
-    consumed += chunk;
+    // Owner-local transfer counters: a wrap would corrupt the ledger
+    // ground truth, so debug-assert on overflow instead of wrapping.
+    link.piece_progress = util::checked_add(link.piece_progress, chunk);
+    link.round_bytes = util::checked_add(link.round_bytes, chunk);
+    consumed = util::checked_add(consumed, chunk);
     budget -= chunk;
     if (link.piece_progress >= torrent_.piece_bytes(link.piece)) {
       down.in_flight.erase(link.piece);
@@ -139,7 +143,7 @@ Bytes Swarm::transfer(PeerId uploader, PeerId downloader, Bytes budget) {
       }
     }
   }
-  total_transferred_ += consumed;
+  total_transferred_ = util::checked_add(total_transferred_, consumed);
   return consumed;
 }
 

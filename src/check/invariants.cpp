@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "graph/maxflow.hpp"
+#include "util/checked.hpp"
 #include "util/sorted_view.hpp"
 
 namespace bc::check {
@@ -65,8 +66,10 @@ void check_history(const bartercast::PrivateHistory& history, Report& report) {
                       " has negative bytes: up=" + std::to_string(e.uploaded) +
                       " down=" + std::to_string(e.downloaded));
     }
-    sum_up += e.uploaded;
-    sum_down += e.downloaded;
+    // The audit must degrade (report a mismatch) rather than trap on a
+    // hostile ledger, so the tally saturates instead of wrapping.
+    sum_up = util::saturating_add(sum_up, e.uploaded);
+    sum_down = util::saturating_add(sum_down, e.downloaded);
   }
   if (sum_up != history.total_uploaded()) {
     report.fail("ledger.total_up",
@@ -101,8 +104,8 @@ void check_ledger_conservation(
   Bytes sum_down = 0;
   // Sorted so a run with several violations reports them in a stable order.
   for (const auto& [owner, h] : util::sorted_view(by_owner)) {
-    sum_up += h->total_uploaded();
-    sum_down += h->total_downloaded();
+    sum_up = util::saturating_add(sum_up, h->total_uploaded());
+    sum_down = util::saturating_add(sum_down, h->total_downloaded());
     for (const auto& e : h->entries()) {
       auto it = by_owner.find(e.peer);
       if (it == by_owner.end()) continue;  // partner's ledger not supplied

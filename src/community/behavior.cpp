@@ -52,6 +52,7 @@ std::vector<Behavior> assign_behaviors(std::size_t num_peers,
     out[idx[i]] = Behavior::kIgnoringFreerider;
   }
   for (std::size_t i = 0; i < num_liars; ++i) {
+    // bc-analyze: allow(V4) -- num_ignorers + i < num_ignorers + num_liars <= num_freeriders <= idx.size(), asserted above; the two-count sum is outside the interval domain's size facts
     out[idx[num_ignorers + i]] = Behavior::kLyingFreerider;
   }
   return out;

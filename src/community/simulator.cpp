@@ -11,6 +11,7 @@
 #include "obs/profile.hpp"
 #include "obs/trace_writer.hpp"
 #include "util/assert.hpp"
+#include "util/checked.hpp"
 #include "util/logging.hpp"
 
 namespace bc::community {
@@ -270,6 +271,7 @@ void CommunitySimulator::choke_swarm(SwarmId swarm_id,
   auto& ctx = *swarms_[swarm_id];
   const Seconds now = engine_.now();
   const Seconds dt = config_.round_interval;
+  BC_ASSERT(dt > 0.0);
   const bool use_reputation =
       config_.policy.kind() != bartercast::PolicyKind::kNone;
 
@@ -333,6 +335,7 @@ void CommunitySimulator::round() {
   rounds.inc();
   const Seconds now = engine_.now();
   const Seconds dt = config_.round_interval;
+  BC_ASSERT(dt > 0.0);
   round_received_.clear();
 
   // Phase 1: choke decisions per swarm on the current member/online sets.
@@ -463,7 +466,7 @@ void CommunitySimulator::round() {
     }
     st.time_downloading += dt;
     if (now >= trace_.duration * 0.5) {
-      st.late_downloaded += got;
+      st.late_downloaded = util::saturating_add(st.late_downloaded, got);
       st.late_time_downloading += dt;
     }
   }
@@ -478,7 +481,10 @@ void CommunitySimulator::round() {
     ledgers.reserve(peers_.size());
     for (const auto& p : peers_) ledgers.push_back(&p.node->history());
     Bytes ground_truth = 0;
-    for (const auto& ctx : swarms_) ground_truth += ctx->swarm.total_transferred();
+    for (const auto& ctx : swarms_) {
+      ground_truth =
+          util::saturating_add(ground_truth, ctx->swarm.total_transferred());
+    }
     check::check_ledger_conservation(ledgers, ground_truth, report);
     check::report_failure("community.round", report);
   }
@@ -717,7 +723,8 @@ void CommunitySimulator::audit(check::Report& report) const {
   for (const auto& p : peers_) ledgers.push_back(&p.node->history());
   Bytes ground_truth = 0;
   for (const auto& ctx : swarms_) {
-    ground_truth += ctx->swarm.total_transferred();
+    ground_truth =
+        util::saturating_add(ground_truth, ctx->swarm.total_transferred());
     if (!ctx->swarm.check_invariants()) {
       report.fail("swarm.invariants",
                   "piece/availability invariants broken in a swarm");

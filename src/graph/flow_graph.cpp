@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/checked.hpp"
 
 namespace bc::graph {
 
@@ -56,12 +57,16 @@ void FlowGraph::add_capacity(PeerId from, PeerId to, Bytes amount) {
   auto& adj = out_[fi];
   auto it = adj_lower_bound(adj, to);
   if (it != adj.end() && it->peer == to) {
-    it->cap += amount;
-    adj_lower_bound(in_[ti], from)->cap += amount;
+    // Gossiped capacities are attacker-influenced: saturate rather than
+    // trust the remote ledger to stay inside int64.
+    it->cap = util::saturating_add(it->cap, amount);
+    adj_lower_bound(in_[ti], from)->cap = it->cap;
+    caps_.insert_or_assign(fi, to, it->cap);
   } else {
     adj.insert(it, Edge{to, amount});
     auto& mirror = in_[ti];
     mirror.insert(adj_lower_bound(mirror, from), Edge{from, amount});
+    caps_.insert_or_assign(fi, to, amount);
     ++num_edges_;
   }
 }
@@ -78,6 +83,7 @@ void FlowGraph::set_capacity(PeerId from, PeerId to, Bytes amount) {
     if (present) {
       adj.erase(it);
       adj_erase(in_[ti], from);
+      caps_.erase(fi, to);
       --num_edges_;
     }
     return;
@@ -91,13 +97,14 @@ void FlowGraph::set_capacity(PeerId from, PeerId to, Bytes amount) {
     mirror.insert(adj_lower_bound(mirror, from), Edge{from, amount});
     ++num_edges_;
   }
+  caps_.insert_or_assign(fi, to, amount);
 }
 
 Bytes FlowGraph::capacity(PeerId from, PeerId to) const {
   const NodeIndex fi = index_.find(from);
   if (fi == kNoNode) return 0;
-  const Edge* e = adj_find(out_[fi], to);
-  return e == nullptr ? 0 : e->cap;
+  const Bytes* cap = caps_.find(fi, to);
+  return cap == nullptr ? 0 : *cap;
 }
 
 std::span<const Edge> FlowGraph::out_edges(PeerId node) const {
@@ -114,20 +121,24 @@ std::span<const Edge> FlowGraph::in_edges(PeerId node) const {
 
 Bytes FlowGraph::out_capacity(PeerId node) const {
   Bytes total = 0;
-  for (const Edge& e : out_edges(node)) total += e.cap;
+  for (const Edge& e : out_edges(node)) {
+    total = util::saturating_add(total, e.cap);
+  }
   return total;
 }
 
 Bytes FlowGraph::in_capacity(PeerId node) const {
   Bytes total = 0;
-  for (const Edge& e : in_edges(node)) total += e.cap;
+  for (const Edge& e : in_edges(node)) {
+    total = util::saturating_add(total, e.cap);
+  }
   return total;
 }
 
 Bytes FlowGraph::total_capacity() const {
   Bytes total = 0;
   for (const auto& adj : out_) {
-    for (const Edge& e : adj) total += e.cap;
+    for (const Edge& e : adj) total = util::saturating_add(total, e.cap);
   }
   return total;
 }
@@ -138,11 +149,13 @@ void FlowGraph::remove_node(PeerId node) {
   // Drop outgoing edges and their reverse index entries.
   for (const Edge& e : out_[slot]) {
     adj_erase(in_[index_.find(e.peer)], node);
+    caps_.erase(slot, e.peer);
     --num_edges_;
   }
   // Drop incoming edges.
   for (const Edge& e : in_[slot]) {
     adj_erase(out_[index_.find(e.peer)], node);
+    caps_.erase(index_.find(e.peer), node);
     --num_edges_;
   }
   out_[slot].clear();
@@ -156,6 +169,7 @@ void FlowGraph::clear() {
   index_.clear();
   out_.clear();
   in_.clear();
+  caps_.clear();
   num_edges_ = 0;
 }
 
@@ -186,6 +200,9 @@ bool FlowGraph::check_invariants() const {
       if (to == kNoNode || to >= in_.size()) return false;
       const Edge* mirror = adj_find(in_[to], id);
       if (mirror == nullptr || mirror->cap != e.cap) return false;
+      // The point-query sidecar must agree with the adjacency array.
+      const Bytes* side = caps_.find(slot, e.peer);
+      if (side == nullptr || *side != e.cap) return false;
       ++edges;
     }
     // Every in-edge must have a matching out-edge with the same capacity.
@@ -196,6 +213,9 @@ bool FlowGraph::check_invariants() const {
       if (fwd == nullptr || fwd->cap != e.cap) return false;
     }
   }
+  // Size equality makes the sidecar's agreement exact: every edge was
+  // found above, so equal counts rule out stray sidecar entries.
+  if (caps_.size() != num_edges_) return false;
   return edges == num_edges_;
 }
 

@@ -17,10 +17,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "graph/peer_index.hpp"
+#include "util/checked.hpp"  // BC_NO_SANITIZE_INTEGER
 #include "util/ids.hpp"
 #include "util/units.hpp"
 
@@ -95,9 +97,118 @@ class FlowGraph {
   // Ensures the node exists, returning its slot.
   NodeIndex touch(PeerId node);
 
+  /// Flat open-addressing sidecar mapping (tail slot, head PeerId) to the
+  /// edge capacity. The sorted adjacency arrays stay the source of truth
+  /// for every iteration surface (merge scans, spans, determinism); the
+  /// sidecar exists solely so the point query `capacity(from, to)` is a
+  /// single probe sequence instead of a binary search over a scattered
+  /// adjacency array. Linear probing with backward-shift deletion keeps
+  /// the table tombstone-free under set_capacity(.., 0) and remove_node.
+  class CapSidecar {
+   public:
+    const Bytes* find(NodeIndex from, PeerId to) const {
+      if (cells_.empty()) return nullptr;
+      const std::uint64_t key = key_of(from, to);
+      std::size_t i = hash_of(key) & mask_;
+      while (cells_[i].key != kEmpty) {
+        if (cells_[i].key == key) return &cells_[i].cap;
+        i = (i + 1) & mask_;
+      }
+      return nullptr;
+    }
+
+    void insert_or_assign(NodeIndex from, PeerId to, Bytes cap) {
+      if ((size_ + 1) * 4 > cells_.size() * 3) grow();
+      const std::uint64_t key = key_of(from, to);
+      std::size_t i = hash_of(key) & mask_;
+      while (cells_[i].key != kEmpty) {
+        if (cells_[i].key == key) {
+          cells_[i].cap = cap;
+          return;
+        }
+        i = (i + 1) & mask_;
+      }
+      cells_[i] = Cell{key, cap};
+      ++size_;
+    }
+
+    void erase(NodeIndex from, PeerId to) {
+      if (cells_.empty()) return;
+      const std::uint64_t key = key_of(from, to);
+      std::size_t hole = hash_of(key) & mask_;
+      while (cells_[hole].key != key) {
+        if (cells_[hole].key == kEmpty) return;
+        hole = (hole + 1) & mask_;
+      }
+      // Backward-shift deletion: pull every displaced follower whose
+      // probe path crosses the hole, so lookups never need tombstones.
+      // Probe distances are mod-table-size; the + cells_.size() keeps the
+      // subtraction non-negative where the index wrapped past slot 0.
+      std::size_t j = hole;
+      while (true) {
+        j = (j + 1) & mask_;
+        if (cells_[j].key == kEmpty) break;
+        const std::size_t home = hash_of(cells_[j].key) & mask_;
+        if (((j + cells_.size() - home) & mask_) >=
+            ((j + cells_.size() - hole) & mask_)) {
+          cells_[hole] = cells_[j];
+          hole = j;
+        }
+      }
+      cells_[hole].key = kEmpty;
+      --size_;
+    }
+
+    void clear() {
+      cells_.clear();
+      mask_ = 0;
+      size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+
+   private:
+    struct Cell {
+      std::uint64_t key;
+      Bytes cap;
+    };
+    static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+    // Slot numbers never reach kNoNode, so the packed key can never
+    // collide with the empty sentinel.
+    static std::uint64_t key_of(NodeIndex from, PeerId to) {
+      return (std::uint64_t{from} << 32) | std::uint64_t{to};
+    }
+
+    BC_NO_SANITIZE_INTEGER static std::size_t hash_of(std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+
+    void grow() {
+      std::vector<Cell> old = std::move(cells_);
+      const std::size_t n = old.empty() ? 16 : old.size() * 2;
+      cells_.assign(n, Cell{kEmpty, 0});
+      mask_ = n - 1;
+      for (const Cell& c : old) {
+        if (c.key == kEmpty) continue;
+        std::size_t i = hash_of(c.key) & mask_;
+        while (cells_[i].key != kEmpty) i = (i + 1) & mask_;
+        cells_[i] = c;
+      }
+    }
+
+    std::vector<Cell> cells_;  // power-of-two sized; key == kEmpty is free
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+  };
+
   PeerIndex index_;
   std::vector<std::vector<Edge>> out_;  // slot -> sorted out-adjacency
   std::vector<std::vector<Edge>> in_;   // slot -> sorted in-adjacency
+  CapSidecar caps_;                     // (slot, head) -> capacity
   std::size_t num_edges_ = 0;
 };
 

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "util/assert.hpp"
+#include "util/checked.hpp"
 
 namespace bc::graph {
 
@@ -64,7 +65,9 @@ class Residual {
         ++j;
       }
       Bytes r = base;
-      if (auto it = delta_.find(key(u, v)); it != delta_.end()) r += it->second;
+      if (auto it = delta_.find(key(u, v)); it != delta_.end()) {
+        r = util::saturating_add(r, it->second);
+      }
       if (r > 0) fn(v, r);
     }
   }
@@ -164,7 +167,7 @@ Bytes max_flow_ford_fulkerson(const FlowGraph& g, PeerId s, PeerId t,
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       res.augment(path[i], path[i + 1], bottleneck);
     }
-    flow += bottleneck;
+    flow = util::saturating_add(flow, bottleneck);
     // Sharded: safe from pool workers, merges deterministically.
     static obs::Counter& augmentations =
         obs::Registry::instance().counter("maxflow.augmenting_paths");
@@ -220,7 +223,7 @@ Bytes max_flow_edmonds_karp(const FlowGraph& g, PeerId s, PeerId t) {
       res.augment(u, v, bottleneck);
       v = u;
     }
-    flow += bottleneck;
+    flow = util::saturating_add(flow, bottleneck);
   }
   return flow;
 }
@@ -251,7 +254,7 @@ Bytes max_flow_two_hop(const FlowGraph& g, PeerId s, PeerId t) {
     } else if (in[j].peer < out[i].peer) {
       ++j;
     } else {
-      flow += std::min(out[i].cap, in[j].cap);
+      flow = util::saturating_add(flow, std::min(out[i].cap, in[j].cap));
       ++i;
       ++j;
     }

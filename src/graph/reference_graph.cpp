@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/checked.hpp"
 #include "util/sorted_view.hpp"
 
 namespace bc::graph {
@@ -84,14 +85,18 @@ std::vector<PeerId> ReferenceFlowGraph::nodes() const {
 Bytes ReferenceFlowGraph::out_capacity(PeerId node) const {
   Bytes total = 0;
   // bc-analyze: allow(D1) -- integer sum over all edges; addition over Bytes is commutative, order never escapes
-  for (const auto& [_, cap] : out_edges(node)) total += cap;
+  for (const auto& [_, cap] : out_edges(node)) {
+    total = util::saturating_add(total, cap);
+  }
   return total;
 }
 
 Bytes ReferenceFlowGraph::in_capacity(PeerId node) const {
   Bytes total = 0;
   // bc-analyze: allow(D1) -- integer sum over all in-edges; commutative, order never escapes
-  for (PeerId from : in_edges(node)) total += capacity(from, node);
+  for (PeerId from : in_edges(node)) {
+    total = util::saturating_add(total, capacity(from, node));
+  }
   return total;
 }
 
@@ -99,7 +104,9 @@ Bytes ReferenceFlowGraph::total_capacity() const {
   Bytes total = 0;
   // bc-analyze: allow(D1) -- integer sum over every edge; commutative, order never escapes
   for (const auto& [_, adj] : out_) {
-    for (const auto& [__, cap] : adj) total += cap;
+    for (const auto& [__, cap] : adj) {
+      total = util::saturating_add(total, cap);
+    }
   }
   return total;
 }
@@ -240,7 +247,7 @@ Bytes ref_max_flow_ford_fulkerson(const ReferenceFlowGraph& g, PeerId s,
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       res.augment(path[i], path[i + 1], bottleneck);
     }
-    flow += bottleneck;
+    flow = util::saturating_add(flow, bottleneck);
   }
   return flow;
 }
@@ -283,7 +290,7 @@ Bytes ref_max_flow_edmonds_karp(const ReferenceFlowGraph& g, PeerId s,
     for (PeerId v = t; v != s; v = parent[v]) {
       res.augment(parent[v], v, bottleneck);
     }
-    flow += bottleneck;
+    flow = util::saturating_add(flow, bottleneck);
   }
   return flow;
 }
@@ -295,7 +302,9 @@ Bytes ref_max_flow_two_hop(const ReferenceFlowGraph& g, PeerId s, PeerId t) {
   for (const auto& [v, cap_sv] : g.out_edges(s)) {
     if (v == t) continue;
     const Bytes cap_vt = g.capacity(v, t);
-    if (cap_vt > 0) flow += std::min(cap_sv, cap_vt);
+    if (cap_vt > 0) {
+      flow = util::saturating_add(flow, std::min(cap_sv, cap_vt));
+    }
   }
   return flow;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/checked.hpp"
+
 namespace bc::obs {
 
 Histogram::Histogram(std::vector<double> upper_edges)
@@ -141,7 +143,7 @@ std::uint64_t LogHistogram::total() const {
 
 std::int64_t LogHistogram::sum_units() const {
   std::int64_t u = sum_units_;
-  for (const Shard& s : shards_) u += s.sum_units;
+  for (const Shard& s : shards_) u = util::saturating_add(u, s.sum_units);
   return u;
 }
 

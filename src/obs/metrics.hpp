@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/checked.hpp"
 #include "util/concurrency/atomic.hpp"
 #include "util/concurrency/mutex.hpp"
 #include "util/concurrency/shard_slot.hpp"
@@ -235,13 +236,15 @@ class LogHistogram {
       Shard& s = shards_[slot];
       ++s.counts[idx];
       ++s.total;
-      s.sum_units += units;
+      // Fixed-point sums saturate: a histogram must degrade, not abort
+      // or wrap, when fed month-scale totals.
+      s.sum_units = util::saturating_add(s.sum_units, units);
       return;
     }
     BC_DASSERT(slot == 0);  // pool chunk without a shard would race
     ++counts_[idx];
     ++total_;
-    sum_units_ += units;
+    sum_units_ = util::saturating_add(sum_units_, units);
   }
 
   const LogSpec& spec() const { return spec_; }

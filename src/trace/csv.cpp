@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -128,6 +129,18 @@ std::optional<Trace> read_csv(std::istream& is, std::string* error) {
       SwarmRequest r;
       if (fields.size() != 4 || !parse_i64(fields[1], peer) ||
           !parse_i64(fields[2], swarm) || !parse_double(fields[3], r.at)) {
+        return bad();
+      }
+      // Untrusted int64 from the file: out-of-range ids would truncate in
+      // the casts below, so reject them instead.
+      if (peer < 0 ||
+          peer > static_cast<std::int64_t>(
+                     std::numeric_limits<PeerId>::max())) {
+        return bad();
+      }
+      if (swarm < 0 ||
+          swarm > static_cast<std::int64_t>(
+                      std::numeric_limits<SwarmId>::max())) {
         return bad();
       }
       r.peer = static_cast<PeerId>(peer);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/checked.hpp"
 #include "util/rng.hpp"
 
 namespace bc::trace {
@@ -62,7 +63,10 @@ DeploymentPopulation generate_deployment(const DeploymentConfig& cfg) {
     if (volume <= 0) continue;
     const auto external = static_cast<Bytes>(
         static_cast<double>(volume) * cfg.external_fraction);
-    pop.total_down[i] += external;  // served by non-Tribler clients
+    // Synthetic volumes come from an unbounded lognormal: saturate so
+    // an extreme config degrades instead of wrapping the ledger.
+    pop.total_down[i] = bc::util::saturating_add(pop.total_down[i],
+                                                 external);
 
     const Bytes internal = volume - external;
     const auto num_partners = static_cast<std::size_t>(rng.uniform_int(
@@ -77,6 +81,7 @@ DeploymentPopulation generate_deployment(const DeploymentConfig& cfg) {
       s = rng.exponential(1.0);
       share_sum += s;
     }
+    if (share_sum <= 0.0) continue;  // all-zero draws: nothing to split
     for (double s : shares) {
       const PeerId up = sample_partner(i);
       if (up == kInvalidPeer) continue;
@@ -84,13 +89,16 @@ DeploymentPopulation generate_deployment(const DeploymentConfig& cfg) {
           static_cast<Bytes>(static_cast<double>(internal) * s / share_sum);
       if (amount <= 0) continue;
       edges[{up, i}] += amount;
-      pop.total_up[up] += amount;
-      pop.total_down[i] += amount;
+      pop.total_up[up] = bc::util::saturating_add(pop.total_up[up],
+                                                  amount);
+      pop.total_down[i] = bc::util::saturating_add(pop.total_down[i],
+                                                   amount);
     }
     // Active peers also seed a little to external clients now and then.
     if (rng.chance(0.3)) {
-      pop.total_up[i] +=
-          static_cast<Bytes>(rng.lognormal(mu - 1.5, cfg.download_sigma));
+      pop.total_up[i] = bc::util::saturating_add(
+          pop.total_up[i],
+          static_cast<Bytes>(rng.lognormal(mu - 1.5, cfg.download_sigma)));
     }
   }
 

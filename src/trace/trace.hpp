@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "util/assert.hpp"
 #include "util/ids.hpp"
 #include "util/units.hpp"
 
@@ -23,6 +24,7 @@ struct FileMeta {
   Bytes piece_size = 0;
 
   int num_pieces() const {
+    BC_ASSERT(piece_size > 0);
     // bc-analyze: allow(B1) -- piece *count*, not a ledger amount: bounded by size/piece_size, far below 2^31 for any valid trace (validate() rejects piece_size <= 0)
     return static_cast<int>((size + piece_size - 1) / piece_size);
   }

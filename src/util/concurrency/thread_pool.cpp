@@ -61,6 +61,7 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  BC_ASSERT(chunks > 1);
 
   // Static chunking: chunk c covers [c*n/chunks, (c+1)*n/chunks). The
   // boundaries depend only on (n, chunks), never on scheduling, and bodies

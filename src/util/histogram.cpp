@@ -14,7 +14,9 @@ Histogram::Histogram(double lo, double hi, std::size_t num_bins)
 }
 
 void Histogram::add(double value) {
+  BC_ASSERT(!counts_.empty());
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  BC_ASSERT(width > 0.0);
   double idx = (value - lo_) / width;
   idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size() - 1));
   ++counts_[static_cast<std::size_t>(idx)];

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/checked.hpp"  // BC_NO_SANITIZE_INTEGER
 
 namespace bc {
 
@@ -30,18 +31,19 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  void reseed(std::uint64_t seed) {
+  BC_NO_SANITIZE_INTEGER void reseed(std::uint64_t seed) {
     std::uint64_t x = seed;
     for (auto& s : state_) {
       x += 0x9e3779b97f4a7c15ULL;
       std::uint64_t z = x;
       z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
       z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      // bc-analyze: allow(V3) -- s is a 64-bit state word (auto& over state_); the xor-shift finalizer is SplitMix64's full-width mixing step, not a narrowing store
       s = z ^ (z >> 31);
     }
   }
 
-  result_type operator()() {
+  BC_NO_SANITIZE_INTEGER result_type operator()() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -66,9 +68,15 @@ class Rng {
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+  BC_NO_SANITIZE_INTEGER std::int64_t uniform_int(std::int64_t lo,
+                                                  std::int64_t hi) {
     BC_ASSERT(lo <= hi);
-    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Width computed in unsigned space: hi - lo as int64 overflows for
+    // spans past 2^63 (e.g. the full-range call), and the +1 wrapping to
+    // zero for the full 64-bit span is the sentinel the branch below keys
+    // on — both are the modular arithmetic this annotation opts into.
+    const std::uint64_t range =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
     if (range == 0) {  // full 64-bit range
       return static_cast<std::int64_t>((*this)());
     }
@@ -109,6 +117,7 @@ class Rng {
   template <typename T>
   void shuffle(std::vector<T>& v) {
     for (std::size_t i = v.size(); i > 1; --i) {
+      // bc-analyze: allow(V4) -- i starts at v.size() and only decrements, so i - 1 < v.size() on every iteration; the downward loop's init bound is outside the interval domain
       std::swap(v[i - 1], v[index(i)]);
     }
   }

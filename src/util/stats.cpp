@@ -39,6 +39,7 @@ void OnlineStats::merge(const OnlineStats& other) {
   const auto n2 = static_cast<double>(other.n_);
   const double delta = other.mean_ - mean_;
   const double total = n1 + n2;
+  BC_ASSERT(total > 0.0);
   mean_ += delta * n2 / total;
   m2_ += other.m2_ + delta * delta * n1 * n2 / total;
   n_ += other.n_;

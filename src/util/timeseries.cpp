@@ -13,6 +13,7 @@ TimeSeries::TimeSeries(Seconds start, Seconds bin_width, std::size_t num_bins)
 }
 
 void TimeSeries::add(Seconds t, double value) {
+  BC_ASSERT(width_ > 0.0);
   double idx = (t - start_) / width_;
   idx = std::clamp(idx, 0.0, static_cast<double>(bins_.size() - 1));
   bins_[static_cast<std::size_t>(idx)].add(value);

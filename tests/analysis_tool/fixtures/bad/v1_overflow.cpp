@@ -1,0 +1,18 @@
+// V1 fixture: unchecked Bytes arithmetic over gossip-scale inputs. The
+// addends come from other peers' reports, so nothing bounds them below
+// int64 scale and the accumulator interval blows through INT64_MAX.
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::int64_t;
+
+Bytes sum_reported(const std::vector<Bytes>& reported) {
+  Bytes total = 0;
+  for (const Bytes r : reported) total += r;
+  return total;
+}
+
+Bytes scaled(Bytes base, Bytes factor) {
+  base *= factor;
+  return base;
+}

@@ -1,0 +1,13 @@
+// V2 fixture: ratio denominators nobody proved nonzero. A freshly joined
+// peer has downloaded == 0, and a zero-width bucket is a config typo away.
+#include <cstdint>
+
+using Bytes = std::int64_t;
+
+double share_ratio(Bytes uploaded, Bytes downloaded) {
+  return static_cast<double>(uploaded) / static_cast<double>(downloaded);
+}
+
+std::int64_t bucket_of(std::int64_t value, std::int64_t width) {
+  return value % width;
+}

@@ -1,0 +1,12 @@
+// V4 fixture: index arithmetic with no dominating size bound — `i + 1`
+// walks off the end on the last element, `n - 1` underflows at n == 0.
+#include <cstddef>
+#include <vector>
+
+int next_of(const std::vector<int>& v, std::size_t i) {
+  return v[i + 1];
+}
+
+int last_of(const std::vector<int>& v, std::size_t n) {
+  return v[n - 1];
+}

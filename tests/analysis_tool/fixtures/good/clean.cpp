@@ -5,11 +5,16 @@
 
 using Bytes = std::int64_t;
 
+constexpr Bytes kMaxTransfer = 1073741824;  // 1 GiB per ledger record
+
 std::map<int, Bytes> ledger;  // ordered: iteration is deterministic
 
 Bytes total() {
   Bytes s = 0;
-  for (const auto& [peer, amount] : ledger) s += amount;
+  for (const auto& [peer, amount] : ledger) {
+    if (amount < 0 || amount > kMaxTransfer) continue;  // bounds the addend
+    s += amount;
+  }
   return s;
 }
 

@@ -1,12 +1,15 @@
 // G1 counter-fixture: consumers stay on the PeerId API of the graph
 // module — capacity lookups and sorted edge spans, no dense slot numbers.
 #include "graph/flow_graph.hpp"
+#include "util/checked.hpp"
 
 namespace bc {
 
 Bytes two_hop_upper_bound(const graph::FlowGraph& g, PeerId s, PeerId t) {
   Bytes total = g.capacity(s, t);
-  for (const auto& e : g.out_edges(s)) total += e.cap;
+  for (const auto& e : g.out_edges(s)) {
+    total = util::saturating_add(total, e.cap);  // bound estimate: clamp
+  }
   return total;
 }
 

@@ -1,0 +1,46 @@
+// V counter-fixture: the same arithmetic shapes as the v*_ bad fixtures,
+// each carrying a dominating proof the interval analysis can see — bound
+// guards, nonzero guards (statement and ternary form), numeric_limits
+// range validation, and an asserted size bound.
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#define BC_ASSERT(cond) ((cond) ? void(0) : __builtin_trap())
+
+using Bytes = std::int64_t;
+using PeerId = std::uint32_t;
+
+constexpr Bytes kMaxChunk = 1048576;  // 1 MiB per transfer record
+
+Bytes sum_bounded(const std::vector<Bytes>& xs) {
+  Bytes s = 0;
+  for (const Bytes x : xs) {
+    if (x < 0 || x > kMaxChunk) continue;  // clamps the addend interval
+    s += x;
+  }
+  return s;
+}
+
+double guarded_ratio(Bytes uploaded, Bytes downloaded) {
+  if (downloaded == 0) return 0.0;
+  return static_cast<double>(uploaded) / static_cast<double>(downloaded);
+}
+
+double ternary_ratio(Bytes uploaded, Bytes downloaded) {
+  return downloaded != 0
+             ? static_cast<double>(uploaded) / static_cast<double>(downloaded)
+             : 0.0;
+}
+
+PeerId validated_peer(std::int64_t raw_id) {
+  constexpr std::int64_t kMaxId =
+      static_cast<std::int64_t>(std::numeric_limits<PeerId>::max());
+  if (raw_id < 0 || raw_id > kMaxId) return 0;
+  return static_cast<PeerId>(raw_id);
+}
+
+int asserted_next(const std::vector<int>& v, std::size_t i) {
+  BC_ASSERT(i + 1 < v.size());
+  return v[i + 1];
+}

@@ -101,6 +101,15 @@ class BadFixtures(unittest.TestCase):
             ("c5_lockorder.cpp", 11, "C5"),
             ("c5_lockorder.cpp", 16, "C5"),
             ("sup_stale.cpp", 11, "SUP"),
+            # Abstract-interpretation value rules (interval domain).
+            ("v1_overflow.cpp", 11, "V1"),
+            ("v1_overflow.cpp", 16, "V1"),
+            ("v2_zerodiv.cpp", 8, "V2"),
+            ("v2_zerodiv.cpp", 12, "V2"),
+            ("v3_narrowing.cpp", 8, "V3"),
+            ("v3_narrowing.cpp", 13, "V3"),
+            ("v4_span.cpp", 7, "V4"),
+            ("v4_span.cpp", 11, "V4"),
         }
         self.assertEqual(self.findings, expected)
 
@@ -257,7 +266,8 @@ class SarifOutput(unittest.TestCase):
         # Rule metadata ships even when nothing fired, so code scanning
         # can render the catalogue.
         rules = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
-        self.assertLessEqual({"D1", "D4", "P1", "C4", "C5", "SUP"}, rules)
+        self.assertLessEqual({"D1", "D4", "P1", "C4", "C5", "SUP",
+                              "V1", "V2", "V3", "V4"}, rules)
 
 
 class CacheBehavior(unittest.TestCase):
@@ -323,7 +333,7 @@ class CliBehavior(unittest.TestCase):
         proc = run_analyzer("--list-rules")
         self.assertEqual(proc.returncode, 0)
         for rule in ("D1", "D2", "D3", "B1", "B2", "C1", "C2", "C3", "G1",
-                     "SUP"):
+                     "V1", "V2", "V3", "V4", "SUP"):
             self.assertIn(rule, proc.stdout)
 
     def test_missing_path_is_infra_error(self):
@@ -337,6 +347,96 @@ class CliBehavior(unittest.TestCase):
         self.assertEqual(
             proc.returncode, 0,
             "bc-analyze found new violations:\n" + proc.stdout)
+
+
+class IntervalDomain(unittest.TestCase):
+    """Unit coverage of the abstract-interpretation engine behind the V
+    rules: lattice operations, widening convergence, guard negation and
+    refinement, and the bottom-up interprocedural summaries."""
+
+    @classmethod
+    def setUpClass(cls):
+        sys.path.insert(0, str(REPO_ROOT / "scripts"))
+        import bc_analyze.absint as absint
+        cls.ai = absint
+
+    def test_join_meet_lattice(self):
+        I = self.ai.Interval
+        self.assertEqual(I(0, 5).join(I(3, 10)), I(0, 10))
+        self.assertEqual(I(0, 5).meet(I(3, 10)), I(3, 5))
+        self.assertTrue(I(0, 2).meet(I(5, 9)).is_bottom())
+        self.assertEqual(I(0, 5).join(I.bottom()), I(0, 5))
+
+    def test_widening_jumps_and_converges(self):
+        I, INF = self.ai.Interval, self.ai.INF
+        grown = I(0, 5).widen(I(0, 6))
+        self.assertEqual(grown.lo, 0)
+        self.assertEqual(grown.hi, INF)
+        # A second widening step is a fixpoint: nothing left to lose.
+        self.assertEqual(grown.widen(grown.join(I(0, 7))), grown)
+
+    def test_type_ranges(self):
+        self.assertEqual(self.ai.type_range("PeerId"),
+                         self.ai.Interval(0, 4294967295))
+        self.assertEqual(self.ai.type_range("Bytes"), self.ai.I64_RANGE)
+
+    def test_eval_constant_folding(self):
+        got = self.ai.eval_expr("3 * 7 + 1", self.ai.Env())
+        self.assertEqual((got.lo, got.hi), (22, 22))
+
+    def test_eval_numeric_limits(self):
+        got = self.ai.eval_expr("std::numeric_limits<PeerId>::max()",
+                                self.ai.Env())
+        self.assertEqual((got.lo, got.hi), (4294967295, 4294967295))
+
+    def test_negate_de_morgan(self):
+        self.assertEqual(self.ai._negate("x < 0 || x > kMax"),
+                         "x >= 0 && x <= kMax")
+        self.assertEqual(self.ai._negate("!(n == 0)"), "n == 0")
+        # A negated conjunction is a disjunction: no single guard holds.
+        self.assertIsNone(self.ai._negate("a > 0 && b > 0"))
+
+    def test_refine_applies_guards(self):
+        got = self.ai.refine(self.ai.I64_RANGE, "x",
+                             ["x >= 0", "x <= 100"], self.ai.Env())
+        self.assertEqual((got.lo, got.hi), (0, 100))
+
+    def _program(self, code):
+        from bc_analyze.source import load_source
+        from bc_analyze import RULES
+        tmp = Path(tempfile.mkdtemp(dir=TESTS_DIR))
+        self.addCleanup(lambda: __import__("shutil").rmtree(tmp))
+        src = tmp / "probe.cpp"
+        src.write_text(code, encoding="utf-8")
+        sf = load_source(src, "probe.cpp", set(RULES))
+        return self.ai.Program([sf])
+
+    def test_summary_composition(self):
+        prog = self._program(
+            "#include <cstdint>\n"
+            "using Bytes = std::int64_t;\n"
+            "constexpr Bytes kCap = 1000;\n"
+            "constexpr Bytes kTwice = 2 * kCap;\n"
+            "Bytes clamped(Bytes x) {\n"
+            "  if (x < 0) return 0;\n"
+            "  if (x > kCap) return kCap;\n"
+            "  return x;\n"
+            "}\n"
+            "Bytes doubled(Bytes x) {\n"
+            "  return clamped(x) + clamped(x);\n"
+            "}\n")
+        summaries = self.ai.Summaries(prog)
+        # Constexpr chains resolve across the two global-consts passes.
+        kcap = summaries.global_consts["kCap"]
+        self.assertEqual((kcap.lo, kcap.hi), (1000, 1000))
+        ktwice = summaries.global_consts["kTwice"]
+        self.assertEqual((ktwice.lo, ktwice.hi), (2000, 2000))
+        # The guard structure bounds the callee's return interval, and the
+        # caller's summary composes the callee's.
+        ret = summaries.call("clamped", [self.ai.I64_RANGE])
+        self.assertTrue(ret.fits(0, 1000), ret)
+        ret2 = summaries.call("doubled", [self.ai.I64_RANGE])
+        self.assertTrue(ret2.fits(0, 2000), ret2)
 
 
 if __name__ == "__main__":
