@@ -51,6 +51,7 @@ constexpr PeerId kOpPeers = 400;
 constexpr std::size_t kAdds = 60000;
 constexpr std::size_t kSets = 20000;
 constexpr std::size_t kQueries = 200000;
+constexpr std::size_t kScans = 200000;
 constexpr std::size_t kTwoHops = 20000;
 
 struct OpRow {
@@ -63,9 +64,12 @@ struct OpRow {
 /// Runs the identical operation mix against one graph implementation.
 /// `G` only needs the shared public PeerId API, so the same template body
 /// drives FlowGraph and ReferenceFlowGraph; `flow` is the matching two-hop
-/// entry point.
-template <typename G, typename TwoHopFn>
-std::vector<double> run_ops(G& g, TwoHopFn flow) {
+/// entry point and `scan` sums one node's out-edge capacities (the dense
+/// side iterates through graph::EdgeView, so this row doubles as the
+/// release-build proof that the generation guard compiles away — EdgeView
+/// is a bare std::span under NDEBUG).
+template <typename G, typename TwoHopFn, typename ScanFn>
+std::vector<double> run_ops(G& g, TwoHopFn flow, ScanFn scan) {
   std::vector<double> ns;
   Rng rng(2026);
   auto pick = [&rng] {
@@ -99,6 +103,14 @@ std::vector<double> run_ops(G& g, TwoHopFn flow) {
 
   // bc-analyze: allow(D2) -- benchmark wall-time measurement; never feeds simulation state
   t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kScans; ++i) {
+    // bc-analyze: allow(V1) -- DCE-defeating sink inside the timed region; checked arithmetic here would perturb the measured op, and the value is only compared against a sentinel
+    sink += scan(g, pick());
+  }
+  ns.push_back(ms_since(t0) * 1e6 / static_cast<double>(kScans));
+
+  // bc-analyze: allow(D2) -- benchmark wall-time measurement; never feeds simulation state
+  t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < kTwoHops; ++i) {
     const PeerId s = pick(), t = pick();
     // bc-analyze: allow(V1) -- DCE-defeating sink inside the timed region; checked arithmetic here would perturb the measured op, and the value is only compared against a sentinel
@@ -114,18 +126,33 @@ std::vector<OpRow> run_op_section(std::string& json) {
   graph::FlowGraph dense;
   graph::ReferenceFlowGraph ref;
   const std::vector<double> d = run_ops(
-      dense, [](const graph::FlowGraph& g, PeerId s, PeerId t) {
+      dense,
+      [](const graph::FlowGraph& g, PeerId s, PeerId t) {
         return graph::max_flow_two_hop(g, s, t);
+      },
+      [](const graph::FlowGraph& g, PeerId p) {
+        Bytes acc = 0;
+        // bc-analyze: allow(V1) -- DCE-defeating sink inside the timed region; checked arithmetic here would perturb the measured op, and the value is only compared against a sentinel
+        for (const graph::Edge& e : g.out_edges(p)) acc += e.cap;
+        return acc;
       });
   const std::vector<double> r = run_ops(
-      ref, [](const graph::ReferenceFlowGraph& g, PeerId s, PeerId t) {
+      ref,
+      [](const graph::ReferenceFlowGraph& g, PeerId s, PeerId t) {
         return graph::ref_max_flow_two_hop(g, s, t);
+      },
+      [](const graph::ReferenceFlowGraph& g, PeerId p) {
+        Bytes acc = 0;
+        // bc-analyze: allow(V1) -- DCE-defeating sink inside the timed region; checked arithmetic here would perturb the measured op, and the value is only compared against a sentinel
+        for (const auto& [_, cap] : g.out_edges(p)) acc += cap;
+        return acc;
       });
   const std::vector<OpRow> rows = {
       {"add_capacity", kAdds, d[0], r[0]},
       {"set_capacity", kSets, d[1], r[1]},
       {"capacity_query", kQueries, d[2], r[2]},
-      {"two_hop_maxflow", kTwoHops, d[3], r[3]},
+      {"edge_scan", kScans, d[3], r[3]},
+      {"two_hop_maxflow", kTwoHops, d[4], r[4]},
   };
   json += "  \"ops\": [";
   bool first = true;

@@ -78,6 +78,32 @@ Rule catalogue (see DESIGN.md section 9):
   V4 unbounded-index      subscript arithmetic (`v[i + 1]`, `buf[n - 1]`)
                           with no dominating size()/resize bound or
                           interval proof that the index stays in range
+  L1 dangling-return      escape analysis (escape.py): a function whose
+                          declared return type is a view (std::span /
+                          std::string_view / EdgeView / iterator) or a
+                          reference must not return a local owning
+                          object, a view borrowed from one, or a
+                          temporary — the storage dies with the frame
+  L2 invalidated-view     a view borrowed from an owner (out_edges span,
+                          string_view, iterator, T& binding, range-for)
+                          must not be used after a call that may
+                          invalidate the owner's storage, directly
+                          (`push_back`/`erase`/`resize`/...) or through
+                          a transitively composed mutation summary
+                          (holding `out_edges(p)` across
+                          `FlowGraph::add_capacity` -> `touch` ->
+                          `out_.resize`); re-acquire or copy into an
+                          owning snapshot (sorted_view) instead
+  L3 escaping-capture     no lambda passed to a *storing* callback sink
+                          (Engine::schedule_*, observer setters,
+                          std::function-keeping members) may capture a
+                          frame local by reference or a view by value:
+                          the stored callback outlives the frame
+  L4 use-after-move       no read of a moved-from local/parameter
+                          without an intervening reassignment/clear();
+                          `return std::move(x)` and sibling-branch moves
+                          are left to clang-tidy's path-sensitive
+                          bugprone-use-after-move
   SUP bad-suppression     a `// bc-analyze: allow(...)` marker that names an
                           unknown rule or omits the mandatory `-- reason`,
                           or a stale marker whose rule no longer fires on
@@ -109,6 +135,10 @@ RULES = {
     "V2": "maybe-zero-divisor",
     "V3": "value-narrowing",
     "V4": "unbounded-index",
+    "L1": "dangling-return",
+    "L2": "invalidated-view",
+    "L3": "escaping-capture",
+    "L4": "use-after-move",
     "SUP": "bad-suppression",
 }
 
@@ -141,4 +171,10 @@ RULE_EXEMPT_PREFIXES = {
     "V2": (),
     "V3": (),
     "V4": (),
+    "L1": (),
+    # sorted_view's own iterator plumbing is the sanctioned laundering
+    # implementation: its views never outlive the statement by contract.
+    "L2": ("src/util/sorted_view.hpp",),
+    "L3": (),
+    "L4": (),
 }

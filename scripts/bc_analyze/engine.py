@@ -29,6 +29,7 @@ from bc_analyze.rules_dataflow import (
 )
 from bc_analyze.rules_determinism import check_d1, check_d2, check_d3
 from bc_analyze.rules_graph import check_g1
+from bc_analyze.rules_lifetime import run_lifetime_rules
 from bc_analyze.rules_value import run_value_rules
 from bc_analyze.sarif import write_sarif
 from bc_analyze.source import SourceFile, load_source
@@ -230,6 +231,7 @@ class Analysis:
         findings.extend(check_c4(program, _exempt))
         findings.extend(check_c5(program, _exempt))
         findings.extend(run_value_rules(program, _exempt))
+        findings.extend(run_lifetime_rules(program, _exempt))
         return findings
 
     def stale_suppression_findings(self) -> list[Finding]:

@@ -1,0 +1,502 @@
+"""Escape layer: borrow facts and mutation summaries for rules L1-L4.
+
+Two per-function fact families, both computed on the token frontend's
+scrubbed-code model and composed over callgraph.py's resolved call edges:
+
+  * borrow facts — which locals are views or references into which owner
+    objects. A borrow is recognized from the declared type (std::span,
+    std::string_view, graph::EdgeView, `T&` / `auto&` bindings, iterator
+    results of begin/find/lower_bound) or from the return type of the
+    initializing call: any project function whose declared return type is
+    a view/reference is an accessor, so `auto out = g.out_edges(p)`
+    borrows from `g` even though the declared type is `auto`.
+  * mutation summaries — which functions may invalidate containers
+    reachable from their receiver (`this`): a direct growth/erase op on a
+    convention-named member (`out_.resize(...)`, `payloads_.erase(...)`,
+    map `operator[]` insertion on a declared unordered member), or a call
+    that reaches one — an unqualified same-class call (`touch()`), a call
+    on a member object (`graph_.add_capacity(...)`), composed transitively
+    with a hop limit and provenance like dataflow.py's passes. Free
+    functions that mutate a by-reference parameter (`adj_erase(v, to)`)
+    are summarized separately so call sites passing an owner by reference
+    count as invalidation points.
+
+Laundering: sorted_view / sorted_keys and friends return *owning*
+snapshots, never borrows — the same set rules_dataflow uses to cut D4
+taint also cuts borrow tracking here.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from bc_analyze.callgraph import FunctionDef, Program, _decl_head
+from bc_analyze.source import IDENT_RE, SourceFile, match_paren
+
+# --- view-type recognition ---------------------------------------------------
+
+#: Return-type / declared-type shapes that borrow instead of own.
+VIEW_TYPE_RE = re.compile(
+    r"\bstd\s*::\s*(?:span|string_view|basic_string_view)\b"
+    r"|(?<![\w:])(?:span|string_view)\s*<"
+    r"|\bEdgeView\b"
+    r"|::(?:const_)?(?:reverse_)?iterator\b"
+)
+#: `T&` return types (reference into owned state); `&&` is not a borrow
+#: accessor shape in this tree.
+REF_RETURN_RE = re.compile(r"&\s*$")
+
+#: Standard members whose result points into the receiver.
+BUILTIN_VIEW_ACCESSORS = frozenset({
+    "data", "c_str", "begin", "cbegin", "end", "cend", "rbegin", "rend",
+    "front", "back", "at", "find", "lower_bound", "upper_bound", "top",
+    "raw",
+})
+
+#: Calls that return *owning* values: never borrows, whatever the name
+#: suggests. sorted_view/sorted_keys are the D1 laundering snapshots.
+OWNING_CALL_NAMES = frozenset({
+    "sorted_view", "sorted_keys", "substr", "str", "to_string", "string",
+    "size", "empty", "count", "contains", "capacity", "value", "value_or",
+})
+
+#: Files whose classes hand out references with documented stability:
+#: the obs registry/tracer/profiler keep node-based (map) instrument
+#: storage precisely so cached `Counter&` references survive later
+#: registration — calls into them never invalidate outstanding borrows.
+STABLE_REF_PREFIXES = ("src/obs/",)
+
+#: Container ops that can move or free element storage, invalidating every
+#: outstanding view/iterator into the receiver.
+MUTATOR_NAMES = frozenset({
+    "push_back", "emplace_back", "emplace", "emplace_front", "push_front",
+    "insert", "insert_or_assign", "try_emplace", "erase", "clear",
+    "resize", "assign", "pop_back", "pop_front", "shrink_to_fit",
+    "reserve", "rehash", "extract", "merge", "swap",
+})
+
+_MUT_CALL_RE = re.compile(
+    r"(?<![\w.])((?:this\s*->\s*)?[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)"
+    r"\s*(?:\.|->)\s*(" + "|".join(sorted(MUTATOR_NAMES)) + r")\s*\("
+)
+#: `m_[key] = ...` on a declared unordered member: map operator[] inserts.
+_SUBSCRIPT_ASSIGN_RE = re.compile(
+    r"(?<![\w.])([A-Za-z_]\w*)\s*\[[^\]\n]*\]\s*=(?!=)")
+_MEMBER_CALL_SITE_RE = re.compile(
+    r"(?<![\w.])((?:this\s*->\s*)?[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)"
+    r"\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+
+
+def base_ident(expr: str) -> str | None:
+    """First identifier of an owner expression: `graph_.out_edges(p)` ->
+    graph_, `this->caps_` -> caps_, `(*node).views_` -> node."""
+    expr = expr.strip()
+    expr = re.sub(r"^this\s*->\s*", "", expr)
+    m = IDENT_RE.search(expr)
+    return m.group(0) if m else None
+
+
+def return_type_of(fn: FunctionDef, code: str) -> str:
+    """Declared return type text of a definition, '' when unparseable
+    (constructors, destructors, operators)."""
+    head = _decl_head(code, fn.start)
+    m = re.search(rf"\b{re.escape(fn.name)}\s*\(", head)
+    if m is None:
+        return ""
+    ret = head[:m.start()].strip()
+    # Strip specifiers and the qualification of out-of-class definitions
+    # (`std::span<const Edge> FlowGraph::` -> the span part survives).
+    ret = re.sub(r"\b(?:inline|static|constexpr|virtual|explicit"
+                 r"|BC_\w+)\b", " ", ret)
+    ret = re.sub(r"(?:[A-Za-z_]\w*\s*::\s*)+$", "", ret).strip()
+    return ret
+
+
+def returns_view(fn: FunctionDef, code: str) -> str | None:
+    """'view' / 'ref' when fn's declared return type borrows, else None."""
+    ret = return_type_of(fn, code)
+    if not ret or ret.endswith("&&"):
+        return None
+    if VIEW_TYPE_RE.search(ret):
+        return "view"
+    if REF_RETURN_RE.search(ret):
+        return "ref"
+    return None
+
+
+def view_accessors(program: Program) -> dict[str, str]:
+    """Base name -> kind for every project function returning a view or
+    reference, merged with the std accessor model."""
+    out = {name: "view" for name in BUILTIN_VIEW_ACCESSORS}
+    for fn in program.functions:
+        kind = returns_view(fn, program.by_rel[fn.rel].code)
+        if kind is not None and fn.name not in OWNING_CALL_NAMES:
+            out[fn.name] = kind
+    return out
+
+
+# --- borrow facts ------------------------------------------------------------
+
+
+@dataclass
+class Borrow:
+    """One local that points into an owner it does not own."""
+
+    var: str
+    owner: str  # base identifier of the owning expression
+    via: str  # accessor / binding description for evidence text
+    decl_off: int  # offset of the declaration in SourceFile.code
+    stmt_end: int  # offset just past the declaration statement
+    kind: str  # "view" | "ref" | "iterator" | "range-for"
+    scope_end: int = 0  # for range-for: end of the loop body
+
+
+_VIEW_DECL_RE = re.compile(
+    r"(?<![\w:])(?:const\s+)?"
+    r"(?:(?:std\s*::\s*)?(?:span|string_view|basic_string_view)"
+    r"(?:\s*<[^;={}]*>)?|(?:graph\s*::\s*)?EdgeView)\s*"
+    r"(?:const\s*)?&?\s*([A-Za-z_]\w*)\s*([=({])"
+)
+_AUTO_DECL_RE = re.compile(
+    r"(?<![\w:])(?:const\s+)?auto\s*(&?)\s*([A-Za-z_]\w*)\s*=")
+_REF_DECL_RE = re.compile(
+    r"(?<![\w:])(?:const\s+)?[A-Za-z_][\w:]*(?:\s*<[^;={}]*>)?\s*&\s*"
+    r"([A-Za-z_]\w*)\s*=")
+_RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,\s]+?([&*]?)\s*"
+    r"(?:\[[^\]]*\]|[A-Za-z_]\w*)\s*:\s*([^)]+)\)")
+
+
+def _initializer(code: str, start: int, end: int) -> str:
+    stop = code.find(";", start, end)
+    return code[start:stop if stop > 0 else end]
+
+
+def _init_borrow(init: str,
+                 accessors: dict[str, str]) -> tuple[str, str] | None:
+    """(owner, via) when the initializer expression borrows, else None."""
+    init = init.strip()
+    # Member accessor chain: recv.accessor(...) — owner is the chain base.
+    m = re.match(
+        r"\(?\s*((?:this\s*->\s*)?[A-Za-z_][\w:]*"
+        r"(?:(?:\.|->)[A-Za-z_]\w*|\([^()]*\)|\[[^\]]*\])*)"
+        r"(?:\.|->)\s*([A-Za-z_]\w*)\s*\(", init)
+    if m:
+        accessor = m.group(2)
+        if accessor in OWNING_CALL_NAMES:
+            return None
+        owner = base_ident(m.group(1))
+        if owner is None:
+            return None
+        if accessor in accessors:
+            return (owner, accessor)
+        return None
+    # Free accessor call: F(owner, ...) for a project view returner.
+    m = re.match(r"([A-Za-z_][\w:]*)\s*\(\s*([^;]*)", init)
+    if m:
+        callee = m.group(1).rsplit("::", 1)[-1]
+        if callee in accessors and callee not in OWNING_CALL_NAMES:
+            owner = base_ident(m.group(2))
+            if owner is not None:
+                return (owner, callee)
+        return None
+    # Plain identifier / member / subscript: direct binding.
+    owner = base_ident(init)
+    if owner is not None and re.match(r"[\w.\->\[\]\s*()]+$", init):
+        return (owner, "&-binding")
+    return None
+
+
+def borrows_in(fn: FunctionDef, sf: SourceFile,
+               accessors: dict[str, str]) -> list[Borrow]:
+    """Every borrow declared in fn's body, range-for loops included."""
+    code = sf.code
+    lo, hi = fn.start + 1, fn.end
+    out: list[Borrow] = []
+    seen_offsets: set[int] = set()
+
+    def add(var: str, off: int, kind: str, init: str, via_hint: str = ""):
+        if off in seen_offsets:
+            return
+        bound = _init_borrow(init, accessors)
+        if bound is None:
+            return
+        owner, via = bound
+        if kind == "ref" and via == "&-binding" and "[" not in init:
+            # `T& x = obj.member` / `auto& x = other`: a reference to a
+            # sub-object or an alias — its validity tracks the *object's*
+            # lifetime, not container geometry. Only element bindings
+            # (`out_[fi]`, `views_[p]`) borrow from a container.
+            return
+        if owner == var or owner in ("this", "nullptr"):
+            return
+        seen_offsets.add(off)
+        out.append(Borrow(var=var, owner=owner, via=via_hint or via,
+                          decl_off=off,
+                          stmt_end=code.find(";", off, hi) + 1 or hi,
+                          kind=kind))
+
+    for m in _VIEW_DECL_RE.finditer(code, lo, hi):
+        add(m.group(1), m.start(), "view",
+            _initializer(code, m.end(), hi))
+    for m in _AUTO_DECL_RE.finditer(code, lo, hi):
+        init = _initializer(code, m.end(), hi)
+        kind = "ref" if m.group(1) == "&" else "view"
+        if m.group(1) != "&":
+            # By-value auto only borrows when the initializer is itself a
+            # view-returning call (copying a span copies the pointer).
+            if not re.search(r"\(", init):
+                continue
+        add(m.group(2), m.start(), kind, init)
+    for m in _REF_DECL_RE.finditer(code, lo, hi):
+        head = code[max(lo, m.start() - 8):m.start() + 1]
+        if re.search(r"(?:auto|return)\s*$", head):
+            continue  # auto& handled above; `return x =` is not a decl
+        add(m.group(1), m.start(), "ref",
+            _initializer(code, m.end(), hi), via_hint="&-binding")
+    for m in _RANGE_FOR_RE.finditer(code, lo, hi):
+        owner = base_ident(m.group(2))
+        if owner is None or owner == "this":
+            continue
+        body_open = code.find("{", m.end(), hi)
+        stmt_end = code.find(";", m.end(), hi)
+        if body_open < 0 or (0 < stmt_end < body_open):
+            scope_end = stmt_end if stmt_end > 0 else hi
+        else:
+            close = match_paren(code, body_open, "}")
+            scope_end = close if close > 0 else hi
+        expr = m.group(2).strip()
+        via = "range-for"
+        acc = re.search(r"(?:\.|->)\s*([A-Za-z_]\w*)\s*\($", expr)
+        if acc is not None:
+            if acc.group(1) in OWNING_CALL_NAMES:
+                continue  # iterating an owning snapshot (sorted_view etc.)
+            via = acc.group(1)
+        elif re.match(r"(?:util\s*::\s*)?(?:sorted_view|sorted_keys)\b",
+                      expr):
+            continue
+        out.append(Borrow(var="<range-for>", owner=owner, via=via,
+                          decl_off=m.start(), stmt_end=m.end(),
+                          kind="range-for", scope_end=scope_end))
+    return out
+
+
+# --- mutation summaries ------------------------------------------------------
+
+
+@dataclass
+class Invalidation:
+    """Why calling `fn` may invalidate views into its receiver: either a
+    direct mutation site in its own body (site_fn is fn) or a call chain
+    reaching one."""
+
+    evidence: str  # e.g. "`out_.resize(...)` at src/graph/flow_graph.cpp:57"
+    chain: list[str] = field(default_factory=list)  # qualnames, caller first
+    depth: int = 0
+
+
+def _param_names(fn: FunctionDef, code: str) -> tuple[set[str], set[str]]:
+    """(all_params, mutable_ref_params) of a definition."""
+    head = _decl_head(code, fn.start)
+    m = re.search(rf"\b{re.escape(fn.name)}\s*\(", head)
+    if m is None:
+        return (set(), set())
+    close = match_paren(head, m.end() - 1)
+    params = head[m.end():close if close > 0 else len(head)]
+    names: set[str] = set()
+    mutable_refs: set[str] = set()
+    for part in re.split(r",(?![^<(]*[>)])", params):
+        pm = re.search(r"([A-Za-z_]\w*)\s*(?:=[^,]*)?$", part.strip())
+        if pm is None:
+            continue
+        names.add(pm.group(1))
+        if "&" in part and "const" not in part.split("&")[0]:
+            mutable_refs.add(pm.group(1))
+    return (names, mutable_refs)
+
+
+class MutationSummaries:
+    """Receiver-invalidation and ref-param-mutation summaries, computed
+    once per Program with bounded transitive composition (hop limit 4)."""
+
+    MAX_DEPTH = 4
+
+    def __init__(self, program: Program):
+        self.program = program
+        #: Names declared anywhere as std::unordered_* — subscript-assign
+        #: on these is operator[] insertion (vector subscript-assign on a
+        #: dense array is not structural and must not count).
+        self._map_names: set[str] = set()
+        for sf in program.sources:
+            self._map_names |= sf.unordered_vars
+        self._ref_aliases: dict[int, dict[str, str]] = {}
+        self._params: dict[int, tuple[set[str], set[str]]] = {}
+        #: id(fn) -> Invalidation for receiver-invalidating functions.
+        self.invalidates_receiver: dict[int, Invalidation] = {}
+        #: id(fn) -> {param name: evidence} for ref-param mutators.
+        self.mutates_ref_params: dict[int, dict[str, str]] = {}
+        self._compute()
+
+    # -- per-function raw facts --
+
+    def _aliases(self, fn: FunctionDef, sf: SourceFile) -> dict[str, str]:
+        """Local reference bindings: `auto& adj = out_[fi]` makes a
+        mutation of `adj` a mutation of `out_`."""
+        cached = self._ref_aliases.get(id(fn))
+        if cached is not None:
+            return cached
+        code = sf.code
+        aliases: dict[str, str] = {}
+        for m in _AUTO_DECL_RE.finditer(code, fn.start + 1, fn.end):
+            if m.group(1) != "&":
+                continue
+            owner = base_ident(_initializer(code, m.end(), fn.end))
+            if owner is not None:
+                aliases[m.group(2)] = owner
+        for m in _REF_DECL_RE.finditer(code, fn.start + 1, fn.end):
+            owner = base_ident(_initializer(code, m.end(), fn.end))
+            if owner is not None:
+                aliases.setdefault(m.group(1), owner)
+        self._ref_aliases[id(fn)] = aliases
+        return aliases
+
+    def resolve_receiver(self, fn: FunctionDef, sf: SourceFile,
+                         recv: str) -> str | None:
+        """Receiver base identifier with local `T&` aliases chased."""
+        base = base_ident(recv)
+        aliases = self._aliases(fn, sf)
+        hops = 0
+        while base in aliases and hops < 4:
+            nxt = aliases[base]
+            if nxt == base:
+                break
+            base = nxt
+            hops += 1
+        return base
+
+    def direct_mutations(self, fn: FunctionDef,
+                         sf: SourceFile) -> list[tuple[int, str, str]]:
+        """(offset, resolved base identifier, description) for every
+        container-mutating site in fn's own body (lambda bodies excluded:
+        deferred code does not mutate at the point it is written)."""
+        code = sf.code
+        out: list[tuple[int, str, str]] = []
+        for m in _MUT_CALL_RE.finditer(code, fn.start + 1, fn.end):
+            if fn.in_lambda(m.start()):
+                continue
+            base = self.resolve_receiver(fn, sf, m.group(1))
+            if base is None:
+                continue
+            out.append((m.start(), base,
+                        f"`{base_ident(m.group(1))}.{m.group(2)}(...)`"))
+        for m in _SUBSCRIPT_ASSIGN_RE.finditer(code, fn.start + 1, fn.end):
+            if fn.in_lambda(m.start()):
+                continue
+            base = self.resolve_receiver(fn, sf, m.group(1))
+            if base is not None and base in self._map_names:
+                out.append((m.start(), base,
+                            f"map `{base}[...] = ...` insertion"))
+        out.sort()
+        return out
+
+    def params_of(self, fn: FunctionDef) -> tuple[set[str], set[str]]:
+        cached = self._params.get(id(fn))
+        if cached is None:
+            cached = _param_names(fn, self.program.by_rel[fn.rel].code)
+            self._params[id(fn)] = cached
+        return cached
+
+    # -- composition --
+
+    @staticmethod
+    def _is_member(name: str) -> bool:
+        return name.endswith("_") and not name.startswith("_")
+
+    def _compute(self) -> None:
+        program = self.program
+        # Seed: direct member mutation => invalidates receiver; direct
+        # mutable-ref-param mutation => mutates that parameter.
+        for fn in program.functions:
+            if fn.rel.startswith(STABLE_REF_PREFIXES):
+                continue  # stability-by-contract: see STABLE_REF_PREFIXES
+            sf = program.by_rel[fn.rel]
+            _, mutable_refs = self.params_of(fn)
+            for off, base, desc in self.direct_mutations(fn, sf):
+                where = f"{desc} at {fn.rel}:{sf.line_at(off)}"
+                if self._is_member(base):
+                    self.invalidates_receiver.setdefault(
+                        id(fn), Invalidation(evidence=where,
+                                             chain=[fn.qualname]))
+                elif base in mutable_refs:
+                    self.mutates_ref_params.setdefault(
+                        id(fn), {}).setdefault(base, where)
+        # Transitive: an unqualified same-class call, or a mutator call on
+        # a member object, inherits the callee's receiver-invalidation.
+        for _ in range(self.MAX_DEPTH):
+            changed = False
+            for fn in program.functions:
+                if id(fn) in self.invalidates_receiver:
+                    continue
+                if fn.rel.startswith(STABLE_REF_PREFIXES):
+                    continue
+                sf = program.by_rel[fn.rel]
+                code = sf.code
+                for site in program.calls_from.get(id(fn), ()):
+                    callee = site.callee
+                    inv = self.invalidates_receiver.get(id(callee))
+                    if inv is None or inv.depth >= self.MAX_DEPTH:
+                        continue
+                    recv = self._receiver_text(code, site.offset)
+                    if recv is None:
+                        # Unqualified call: on `this` iff same class.
+                        if (not fn.class_qual
+                                or callee.class_qual != fn.class_qual):
+                            continue
+                    else:
+                        base = self.resolve_receiver(fn, sf, recv)
+                        if base is None or not self._is_member(base):
+                            continue  # mutation of a local: not receiver
+                    self.invalidates_receiver[id(fn)] = Invalidation(
+                        evidence=inv.evidence,
+                        chain=[fn.qualname] + inv.chain,
+                        depth=inv.depth + 1)
+                    changed = True
+                    break
+            if not changed:
+                break
+
+    @staticmethod
+    def _receiver_text(code: str, name_off: int) -> str | None:
+        """Receiver expression of a member call whose method name starts
+        at name_off, or None for an unqualified call."""
+        j = name_off
+        while j > 0 and code[j - 1] in " \t\n":
+            j -= 1
+        if j >= 2 and code[j - 2:j] == "->":
+            j -= 2
+        elif j >= 1 and code[j - 1] == ".":
+            j -= 1
+        else:
+            return None
+        start = j
+        depth = 0
+        while start > 0:
+            c = code[start - 1]
+            if c in ")]":
+                depth += 1
+            elif c in "([":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and not (c.isalnum() or c in "_.>-:"):
+                break
+            start -= 1
+        return code[start:j]
+
+    def invalidation_chain(self, fn: FunctionDef) -> str:
+        """`a -> b -> c [evidence]` text for findings."""
+        inv = self.invalidates_receiver.get(id(fn))
+        if inv is None:
+            return ""
+        return f"{' -> '.join(inv.chain)} [{inv.evidence}]"

@@ -1,0 +1,545 @@
+"""Lifetime rules L1-L4 (escape.py facts over the callgraph.py graph).
+
+L1 dangling-return      a function whose declared return type is a view
+                        (std::span / std::string_view / EdgeView /
+                        iterator) or a reference returns a local owning
+                        object, a view borrowed from one, or a temporary:
+                        the storage dies with the frame.
+L2 invalidated-view     a view borrowed from an owner is used after a call
+                        that may invalidate the owner's storage — a direct
+                        container op (`push_back`, `erase`, `resize`, ...)
+                        or a call whose mutation summary reaches one,
+                        composed transitively (holding `out_edges(p)`
+                        across `FlowGraph::add_capacity` is the canonical
+                        case: add_capacity -> touch -> `out_.resize`).
+                        Discharged by re-acquiring the view after the
+                        mutation, copying into an owning snapshot
+                        (sorted_view), or a reasoned allow(L2).
+L3 escaping-capture     a lambda passed to a *storing* callback sink
+                        (Engine::schedule_*, observer setters, anything
+                        that keeps a std::function member) captures a
+                        frame local by reference — or a view by value —
+                        so the callback outlives the captured storage.
+                        ThreadPool::parallel_for is synchronous (joins
+                        before returning) and is not a sink.
+L4 use-after-move       a moved-from local or parameter is read again
+                        with no intervening reassignment / clear();
+                        `return std::move(x)` and sibling-branch moves
+                        are out of scope (clang-tidy's
+                        bugprone-use-after-move covers the path-sensitive
+                        shapes — see DESIGN.md section 9).
+"""
+
+from __future__ import annotations
+
+import re
+
+from bc_analyze.callgraph import FunctionDef, Program
+from bc_analyze.escape import (
+    Borrow,
+    MUTATOR_NAMES,
+    MutationSummaries,
+    OWNING_CALL_NAMES,
+    base_ident,
+    borrows_in,
+    returns_view,
+    view_accessors,
+)
+from bc_analyze.model import Finding
+from bc_analyze.source import SourceFile, match_paren
+
+# --- L1 ----------------------------------------------------------------------
+
+_OWNING_LOCAL_RE = re.compile(
+    r"(?<![\w:])(?:(static|thread_local)\s+)?(?:const\s+)?"
+    r"(?:std\s*::\s*)?(?:vector|deque|list|map|set|multimap|multiset"
+    r"|unordered_map|unordered_set|string|basic_string|array"
+    r"|ostringstream|stringstream)\s*(?:<[^;={}]*>)?\s+"
+    r"([A-Za-z_]\w*)\s*[;=({]")
+_SCALAR_LOCAL_RE = re.compile(
+    r"(?<![\w:])(?:(static|thread_local)\s+)?(?:const\s+)?"
+    r"(?:int|long|short|double|float|bool|char|unsigned|std::size_t"
+    r"|size_t|std::u?int\d+_t|u?int\d+_t|Bytes|Seconds|Rate|PeerId"
+    r"|EventId|SwarmId)\s+([A-Za-z_]\w*)\s*[;=({]")
+_RETURN_RE = re.compile(r"\breturn\b\s*([^;]*);")
+_TEMP_RETURN_RE = re.compile(
+    r"^(?:std\s*::\s*)?(?:string|vector|to_string|sorted_view|sorted_keys)"
+    r"\s*[({]"
+    r"|\.\s*(?:substr|str)\s*\(")
+
+
+def _owning_locals(fn: FunctionDef, code: str,
+                   include_scalars: bool) -> dict[str, int]:
+    """Local owning declarations (name -> offset); statics excluded."""
+    out: dict[str, int] = {}
+    for m in _OWNING_LOCAL_RE.finditer(code, fn.start + 1, fn.end):
+        if m.group(1) is None:
+            out.setdefault(m.group(2), m.start())
+    if include_scalars:
+        for m in _SCALAR_LOCAL_RE.finditer(code, fn.start + 1, fn.end):
+            if m.group(1) is None:
+                out.setdefault(m.group(2), m.start())
+    return out
+
+
+def check_l1(program: Program, exempt) -> list[Finding]:
+    accessors = view_accessors(program)
+    out: list[Finding] = []
+    for fn in program.functions:
+        if exempt("L1", fn.rel):
+            continue
+        sf = program.by_rel[fn.rel]
+        kind = returns_view(fn, sf.code)
+        if kind is None:
+            continue
+        locals_ = _owning_locals(fn, sf.code, include_scalars=kind == "ref")
+        view_owner = {b.var: b.owner
+                      for b in borrows_in(fn, sf, accessors)
+                      if b.kind != "range-for"}
+        for m in _RETURN_RE.finditer(sf.code, fn.start + 1, fn.end):
+            if fn.in_lambda(m.start()):
+                continue
+            expr = m.group(1).strip()
+            if not expr:
+                continue
+            line = sf.line_at(m.start())
+            if _TEMP_RETURN_RE.search(expr):
+                out.append(Finding(
+                    rule="L1", slug="dangling-return", path=fn.rel,
+                    line=line,
+                    message=(f"`{fn.qualname}` returns a"
+                             f" {'reference' if kind == 'ref' else 'view'}"
+                             f" bound to the temporary `{expr}`: the"
+                             " temporary dies at the end of the return"
+                             " statement — return an owning value or a"
+                             " view into storage that outlives the call"),
+                ))
+                continue
+            ident = expr if re.fullmatch(r"[A-Za-z_]\w*", expr) else None
+            if ident is None:
+                ident = base_ident(expr)
+                if ident is None or f"{ident}(" in expr.replace(" ", ""):
+                    continue
+            target = ident
+            via = ""
+            if target in view_owner and view_owner[target] in locals_:
+                via = f" (a view borrowed from local `{view_owner[target]}`)"
+                target = view_owner[target]
+            if target not in locals_:
+                continue
+            out.append(Finding(
+                rule="L1", slug="dangling-return", path=fn.rel, line=line,
+                message=(f"`{fn.qualname}` returns"
+                         f" {'a reference to' if kind == 'ref' else 'a view into'}"
+                         f" local `{ident}`{via} declared at"
+                         f" {fn.rel}:{sf.line_at(locals_[target])}: the"
+                         " local dies when the frame returns — return an"
+                         " owning value, or take the owner by reference"
+                         " from the caller"),
+            ))
+    return out
+
+
+# --- L2 ----------------------------------------------------------------------
+
+_ASSIGN_RE_TPL = r"(?<![\w.]){var}\s*=(?!=)"
+
+
+def _direct_mutation_events(code: str, owner: str, lo: int,
+                            hi: int) -> list[tuple[int, str, str]]:
+    """(offset, description, chain) for `owner.op(...)` mutator calls
+    (an optional subscript is allowed: `first_served[p].erase(...)`)."""
+    pat = re.compile(
+        rf"(?<![\w.]){re.escape(owner)}\s*(?:\[[^\]]*\]\s*)?(?:\.|->)\s*"
+        rf"({'|'.join(sorted(MUTATOR_NAMES))})\s*\(")
+    return [(m.start(), f"`{owner}.{m.group(1)}(...)`", "")
+            for m in pat.finditer(code, lo, hi)]
+
+
+def _call_mutation_events(program: Program, fn: FunctionDef,
+                          sf: SourceFile, summaries: MutationSummaries,
+                          owner: str, lo: int,
+                          hi: int) -> list[tuple[int, str, str]]:
+    """Calls between lo and hi that may invalidate `owner` through their
+    mutation summary: a member call on `owner`, or `owner` passed to a
+    mutable-ref parameter."""
+    code = sf.code
+    events: list[tuple[int, str, str]] = []
+    for site in program.calls_from.get(id(fn), ()):
+        if not lo <= site.offset < hi:
+            continue
+        callee = site.callee
+        if callee.name in MUTATOR_NAMES:
+            # Base-name fallback resolved a std container op to a project
+            # function of the same name; the direct scanner owns these.
+            continue
+        inv = summaries.invalidates_receiver.get(id(callee))
+        recv = summaries._receiver_text(code, site.offset)
+        if inv is not None and recv is not None:
+            # Literal receiver match only: a call on an *element* of the
+            # owner (`provider.on_bytes_sent(...)` for a `providers[p]`
+            # binding) mutates the element's innards, which does not move
+            # the owner's storage.
+            if base_ident(recv) == owner:
+                events.append((site.offset,
+                               f"`{owner}.{callee.name}(...)`",
+                               summaries.invalidation_chain(callee)))
+                continue
+        mutated = summaries.mutates_ref_params.get(id(callee))
+        if mutated and recv is None:
+            open_idx = code.find("(", site.offset, hi)
+            if open_idx < 0:
+                continue
+            close = match_paren(code, open_idx)
+            args = code[open_idx + 1:close] if close > 0 else ""
+            if re.search(rf"(?<![\w.]){re.escape(owner)}\b", args):
+                evidence = next(iter(mutated.values()))
+                events.append((site.offset,
+                               f"`{callee.name}({owner}, ...)`",
+                               f"{callee.qualname} [{evidence}]"))
+    return events
+
+
+def check_l2(program: Program, summaries: MutationSummaries,
+             exempt) -> list[Finding]:
+    accessors = view_accessors(program)
+    out: list[Finding] = []
+    for fn in program.functions:
+        if exempt("L2", fn.rel):
+            continue
+        sf = program.by_rel[fn.rel]
+        code = sf.code
+        scopes = _brace_scopes(code, fn.start + 1, fn.end)
+        for b in borrows_in(fn, sf, accessors):
+            if b.kind == "range-for":
+                lo, hi = b.stmt_end, b.scope_end
+            else:
+                lo, hi = b.stmt_end, fn.end
+            events = _direct_mutation_events(code, b.owner, lo, hi)
+            events += _call_mutation_events(program, fn, sf, summaries,
+                                            b.owner, lo, hi)
+            events = [e for e in events
+                      if not fn.lambda_spans_differ(b.decl_off, e[0])]
+            if not events:
+                continue
+            events.sort()
+            if b.kind == "range-for":
+                off, desc, chain = events[0]
+                via_chain = f": {chain}" if chain else ""
+                out.append(Finding(
+                    rule="L2", slug="invalidated-view", path=fn.rel,
+                    line=sf.line_at(off),
+                    message=(f"`{fn.qualname}` mutates `{b.owner}` via"
+                             f" {desc} while a range-for loop (started at"
+                             f" {fn.rel}:{sf.line_at(b.decl_off)}) still"
+                             f" iterates it{via_chain}; iterate an owning"
+                             " snapshot (sorted_view) or collect the"
+                             " mutations and apply them after the loop"),
+                ))
+                continue
+            # Argument extents of the mutating calls themselves: a use
+            # *inside* one is the sanctioned erase-at-iterator /
+            # insert-at-hint shape (`it = c.erase(it)`, `c.insert(it, v)`)
+            # — the op consumes the view rather than using it stale.
+            extents: list[tuple[int, int]] = []
+            for ev_off, _, _ in events:
+                op_open = code.find("(", ev_off, hi)
+                op_close = match_paren(code, op_open) if op_open > 0 else -1
+                if op_open > 0 and op_close > 0:
+                    extents.append((op_open, op_close))
+            reacquire = re.compile(_ASSIGN_RE_TPL.format(
+                var=re.escape(b.var)))
+            use_re = re.compile(rf"(?<![\w.]){re.escape(b.var)}\b")
+            for um in use_re.finditer(code, lo, hi):
+                off = um.start()
+                if fn.lambda_spans_differ(b.decl_off, off):
+                    continue
+                if any(o < off <= c for o, c in extents):
+                    continue
+                redecl = re.search(
+                    r"(?:const\s+)?auto\s*(?:const\s*)?[&*]?\s*\[?\s*$",
+                    code[max(lo, off - 48):off]) is not None
+                if redecl or reacquire.match(code, off):
+                    # Re-acquisition (or a same-named redeclaration, e.g.
+                    # `auto [it, _] = m.emplace(...)`) discharges every
+                    # event up to the end of the acquiring statement.
+                    stmt_end = code.find(";", off, hi)
+                    cut = stmt_end if stmt_end > 0 else off
+                    events = [e for e in events if e[0] > cut]
+                    if not events:
+                        break
+                    continue
+                hits = [e for e in events if e[0] < off]
+                # A mutation inside a branch that returns before the use
+                # cannot reach it: `if (...) { adj.erase(it); ... return; }
+                # ... it->cap = x` mutates only on the exiting path.
+                hits = [e for e in hits
+                        if not _scope_returns_before(code, scopes, e[0], off)]
+                if not hits:
+                    continue
+                ev_off, desc, chain = hits[-1]
+                via_chain = f": {chain}" if chain else ""
+                out.append(Finding(
+                    rule="L2", slug="invalidated-view", path=fn.rel,
+                    line=sf.line_at(off),
+                    message=(f"view `{b.var}` (borrowed from `{b.owner}`"
+                             f" via `{b.via}` at"
+                             f" {fn.rel}:{sf.line_at(b.decl_off)}) is used"
+                             " after a call that may invalidate it —"
+                             f" {desc} at {fn.rel}:{sf.line_at(ev_off)}"
+                             f"{via_chain}; re-acquire the view after the"
+                             " mutation or copy into an owning snapshot"),
+                ))
+                break  # one finding per borrow
+    return out
+
+
+_RETURN_STMT_RE = re.compile(r"\breturn\b")
+_ELSE_HEAD_RE = re.compile(r"\s*else\b(?:\s*if\s*\([^)]*\))?\s*\{")
+
+
+def _scope_returns_before(code: str, scopes: list[tuple[int, int]],
+                          ev_off: int, use_off: int) -> bool:
+    """True when the event provably cannot flow to the use: some scope
+    enclosing the event closes before `use_off` and either (a) leaves the
+    function first — a `return` between the event and that scope's `}`
+    (`if (...) { adj.erase(it); ... return; } ... it->cap = x`) — or
+    (b) the use sits in that scope's sibling `else` branch."""
+    for lo, hi in scopes:
+        if not (lo < ev_off < hi and hi < use_off):
+            continue
+        if _RETURN_STMT_RE.search(code, ev_off, hi) is not None:
+            return True
+        m = _ELSE_HEAD_RE.match(code, hi + 1)
+        if m is not None:
+            else_lo = m.end() - 1
+            for s_lo, s_hi in scopes:
+                if s_lo == else_lo and s_lo < use_off < s_hi:
+                    return True
+    return False
+
+
+# --- L3 ----------------------------------------------------------------------
+
+#: Known storing sinks: the callback outlives the calling frame.
+STORING_SINK_NAMES = frozenset({
+    "schedule_at", "schedule_after", "schedule_periodic", "submit",
+    "set_failure_observer", "set_observer", "add_observer",
+    "register_observer", "defer", "post",
+})
+#: Function-typed parameters these take, but invoked before returning:
+#: never a lifetime escape.
+SYNC_SINK_NAMES = frozenset({"parallel_for", "for_each_residual_edge",
+                             "visit", "apply"})
+
+_FN_PARAM_RE = re.compile(r"\bstd\s*::\s*function\s*<|\b[A-Z]\w*Fn\b")
+_CALL_NAME_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+_CAPTURE_LIST_RE = re.compile(r"\[([^\[\]]*)\]\s*(?:\(|\{|mutable\b|->)")
+
+
+def storing_sinks(program: Program) -> dict[str, str]:
+    """Base name -> qualname of every callback-storing function: the
+    builtin list plus detected project functions that take a function-
+    typed parameter and do not invoke it before returning."""
+    out = {name: name for name in STORING_SINK_NAMES}
+    for fn in program.functions:
+        if fn.name in SYNC_SINK_NAMES or fn.name in out:
+            if fn.name in out:
+                out[fn.name] = fn.qualname
+            continue
+        sf = program.by_rel[fn.rel]
+        params_text = ""
+        from bc_analyze.callgraph import _decl_head
+        head = _decl_head(sf.code, fn.start)
+        m = re.search(rf"\b{re.escape(fn.name)}\s*\(", head)
+        if m is not None:
+            close = match_paren(head, m.end() - 1)
+            params_text = head[m.end():close if close > 0 else len(head)]
+        if not _FN_PARAM_RE.search(params_text):
+            continue
+        pm = re.search(r"(?:function\s*<[^;]*>|\b[A-Z]\w*Fn\b)\s*&?&?\s*"
+                       r"([A-Za-z_]\w*)", params_text)
+        if pm is None:
+            continue
+        param = pm.group(1)
+        body = fn.body(sf.code)
+        if re.search(rf"(?<![\w.]){re.escape(param)}\s*\(", body):
+            continue  # invoked synchronously
+        out[fn.name] = fn.qualname
+    return out
+
+
+def _locals_and_params(fn: FunctionDef, sf: SourceFile,
+                       summaries: MutationSummaries) -> set[str]:
+    names, _ = summaries.params_of(fn)
+    code = fn.body(sf.code)
+    for m in re.finditer(r"(?<![\w:.])(?:[A-Za-z_][\w:]*\s*<[^;={}]*>"
+                         r"|[A-Za-z_][\w:]*)\s+([A-Za-z_]\w*)\s*[;=({]",
+                         code):
+        names.add(m.group(1))
+    return names
+
+
+def check_l3(program: Program, summaries: MutationSummaries,
+             exempt) -> list[Finding]:
+    sinks = storing_sinks(program)
+    accessors = view_accessors(program)
+    out: list[Finding] = []
+    for fn in program.functions:
+        if exempt("L3", fn.rel):
+            continue
+        sf = program.by_rel[fn.rel]
+        code = sf.code
+        view_locals = {b.var for b in borrows_in(fn, sf, accessors)
+                       if b.kind in ("view", "iterator")}
+        frame_names: set[str] | None = None  # computed lazily
+        for m in _CALL_NAME_RE.finditer(code, fn.start + 1, fn.end):
+            sink = m.group(1)
+            if sink not in sinks or sink == fn.name:
+                continue
+            open_idx = m.end() - 1
+            close = match_paren(code, open_idx)
+            if close < 0:
+                continue
+            args = code[open_idx + 1:close]
+            for cm in _CAPTURE_LIST_RE.finditer(args):
+                items = [c.strip() for c in cm.group(1).split(",")
+                         if c.strip()]
+                for item in items:
+                    line = sf.line_at(open_idx + 1 + cm.start())
+                    if item == "&":
+                        out.append(Finding(
+                            rule="L3", slug="escaping-capture",
+                            path=fn.rel, line=line,
+                            message=(f"lambda passed to `{sinks[sink]}`"
+                                     " captures the whole frame by"
+                                     " reference (`[&]`): the stored"
+                                     " callback outlives"
+                                     f" `{fn.qualname}`'s locals —"
+                                     " capture by value, or capture"
+                                     " `this` and re-read state when the"
+                                     " callback runs"),
+                        ))
+                        continue
+                    rm = re.fullmatch(r"&\s*([A-Za-z_]\w*)", item)
+                    if rm is not None and rm.group(1) != "this":
+                        name = rm.group(1)
+                        if name.endswith("_"):
+                            continue  # member: lives with *this
+                        out.append(Finding(
+                            rule="L3", slug="escaping-capture",
+                            path=fn.rel, line=line,
+                            message=(f"lambda passed to `{sinks[sink]}`"
+                                     f" captures local `{name}` by"
+                                     " reference: the stored callback"
+                                     " outlives the frame that owns"
+                                     f" `{name}` — capture it by value"),
+                        ))
+                        continue
+                    vm = re.fullmatch(r"([A-Za-z_]\w*)(?:\s*=.*)?", item)
+                    if vm is None or vm.group(1) in ("this", "mutable"):
+                        continue
+                    name = vm.group(1)
+                    if name in view_locals:
+                        if frame_names is None:
+                            frame_names = _locals_and_params(
+                                fn, sf, summaries)
+                        out.append(Finding(
+                            rule="L3", slug="escaping-capture",
+                            path=fn.rel, line=line,
+                            message=(f"lambda passed to `{sinks[sink]}`"
+                                     f" captures view `{name}` by value:"
+                                     " copying a span/string_view copies"
+                                     " the pointer, not the storage — the"
+                                     " owner dies before the stored"
+                                     " callback runs; copy the data or"
+                                     " re-acquire the view inside the"
+                                     " callback"),
+                        ))
+    return out
+
+
+# --- L4 ----------------------------------------------------------------------
+
+_MOVE_RE = re.compile(r"\bstd\s*::\s*move\s*\(\s*([A-Za-z_]\w*)\s*\)")
+_KILL_OPS = ("clear", "assign", "reset", "emplace")
+
+
+def _brace_scopes(code: str, lo: int, hi: int) -> list[tuple[int, int]]:
+    scopes: list[tuple[int, int]] = []
+    stack: list[int] = []
+    for i in range(lo, hi):
+        c = code[i]
+        if c == "{":
+            stack.append(i)
+        elif c == "}" and stack:
+            scopes.append((stack.pop(), i))
+    return scopes
+
+
+def _innermost(scopes: list[tuple[int, int]],
+               off: int) -> tuple[int, int] | None:
+    best = None
+    for lo, hi in scopes:
+        if lo <= off <= hi and (best is None or hi - lo < best[1] - best[0]):
+            best = (lo, hi)
+    return best
+
+
+def check_l4(program: Program, exempt) -> list[Finding]:
+    out: list[Finding] = []
+    for fn in program.functions:
+        if exempt("L4", fn.rel):
+            continue
+        sf = program.by_rel[fn.rel]
+        code = sf.code
+        scopes = _brace_scopes(code, fn.start + 1, fn.end)
+        for m in _MOVE_RE.finditer(code, fn.start + 1, fn.end):
+            ident = m.group(1)
+            if ident.endswith("_") or ident == "this":
+                continue  # members: teardown moves are their own idiom
+            stmt_start = max(code.rfind(ch, fn.start, m.start())
+                             for ch in ";{}")
+            if re.match(r"\s*(?:co_)?return\b",
+                        code[stmt_start + 1:m.start() + 1]):
+                continue  # `return std::move(x)` never reads x again
+            move_scope = _innermost(scopes, m.start())
+            use_re = re.compile(rf"(?<![\w.:]){re.escape(ident)}\b")
+            for um in use_re.finditer(code, m.end(), fn.end):
+                off = um.start()
+                if fn.lambda_spans_differ(m.start(), off):
+                    continue
+                # Conditional-move shapes (move and use in disjoint
+                # sibling scopes) are clang-tidy's path-sensitive job.
+                if move_scope is not None and off > move_scope[1]:
+                    break
+                after = code[um.end():um.end() + 24]
+                if re.match(r"\s*=(?!=)", after):
+                    break  # reassigned: moved-from state gone
+                if re.match(r"\s*(?:\.|->)\s*(?:" + "|".join(_KILL_OPS)
+                            + r")\s*\(", after):
+                    break
+                out.append(Finding(
+                    rule="L4", slug="use-after-move", path=fn.rel,
+                    line=sf.line_at(off),
+                    message=(f"`{ident}` is used after `std::move({ident})`"
+                             f" at {fn.rel}:{sf.line_at(m.start())} with no"
+                             " intervening reassignment or clear(): a"
+                             " moved-from object is valid-but-unspecified"
+                             " — reassign it first, or stop moving it"),
+                ))
+                break  # one finding per move
+    return out
+
+
+# --- entry point -------------------------------------------------------------
+
+
+def run_lifetime_rules(program: Program, exempt) -> list[Finding]:
+    summaries = MutationSummaries(program)
+    findings: list[Finding] = []
+    findings.extend(check_l1(program, exempt))
+    findings.extend(check_l2(program, summaries, exempt))
+    findings.extend(check_l3(program, summaries, exempt))
+    findings.extend(check_l4(program, exempt))
+    return findings

@@ -126,6 +126,9 @@ VECTOR_OF_UNORDERED_RE = re.compile(
 ORDERED_CONTAINER_RE = re.compile(
     r"\bstd::(?:vector|map|set|multimap|multiset|deque|list|array|span)\s*<"
 )
+#: Non-templated project types with deterministic iteration order:
+#: graph::EdgeView wraps a span over the sorted adjacency arrays.
+ORDERED_PLAIN_RE = re.compile(r"\b(?:graph\s*::\s*)?(EdgeView)\b")
 IDENT_RE = re.compile(r"[A-Za-z_]\w*")
 FLOAT_DECL_RE = re.compile(
     r"(?:^|[(,;{]|\s)(?:const\s+)?(?:double|float|Seconds|Rate)\s+(&?\s*[A-Za-z_]\w*)"
@@ -257,6 +260,12 @@ def _scan_declarations(sf: SourceFile) -> None:
         if close < 0:
             continue
         named = _decl_name_after(code, close)
+        if named and named[0] == "var":
+            sf.ordered_vars.add(named[1])
+        elif named and named[0] == "fn":
+            sf.ordered_fns.add(named[1])
+    for m in ORDERED_PLAIN_RE.finditer(code):
+        named = _decl_name_after(code, m.end())
         if named and named[0] == "var":
             sf.ordered_vars.add(named[1])
         elif named and named[0] == "fn":

@@ -68,6 +68,7 @@ void FlowGraph::add_capacity(PeerId from, PeerId to, Bytes amount) {
     mirror.insert(adj_lower_bound(mirror, from), Edge{from, amount});
     caps_.insert_or_assign(fi, to, amount);
     ++num_edges_;
+    ++gen_;
   }
 }
 
@@ -85,6 +86,7 @@ void FlowGraph::set_capacity(PeerId from, PeerId to, Bytes amount) {
       adj_erase(in_[ti], from);
       caps_.erase(fi, to);
       --num_edges_;
+      ++gen_;
     }
     return;
   }
@@ -96,6 +98,7 @@ void FlowGraph::set_capacity(PeerId from, PeerId to, Bytes amount) {
     auto& mirror = in_[ti];
     mirror.insert(adj_lower_bound(mirror, from), Edge{from, amount});
     ++num_edges_;
+    ++gen_;
   }
   caps_.insert_or_assign(fi, to, amount);
 }
@@ -107,16 +110,31 @@ Bytes FlowGraph::capacity(PeerId from, PeerId to) const {
   return cap == nullptr ? 0 : *cap;
 }
 
-std::span<const Edge> FlowGraph::out_edges(PeerId node) const {
+std::span<const Edge> FlowGraph::edges_of(
+    const std::vector<std::vector<Edge>>& side, PeerId node) const {
   const NodeIndex slot = index_.find(node);
   if (slot == kNoNode) return {};
-  return out_[slot];
+  return side[slot];
 }
 
-std::span<const Edge> FlowGraph::in_edges(PeerId node) const {
-  const NodeIndex slot = index_.find(node);
-  if (slot == kNoNode) return {};
-  return in_[slot];
+EdgeView FlowGraph::out_edges(PeerId node) const {
+  const std::span<const Edge> edges = edges_of(out_, node);
+#if BC_GRAPH_GENERATION_CHECKS
+  // An empty span borrows no storage, so it can never dangle — skip the
+  // generation snapshot rather than aborting on a harmless empty().
+  return EdgeView(edges, edges.empty() ? nullptr : &gen_);
+#else
+  return EdgeView(edges);
+#endif
+}
+
+EdgeView FlowGraph::in_edges(PeerId node) const {
+  const std::span<const Edge> edges = edges_of(in_, node);
+#if BC_GRAPH_GENERATION_CHECKS
+  return EdgeView(edges, edges.empty() ? nullptr : &gen_);
+#else
+  return EdgeView(edges);
+#endif
 }
 
 Bytes FlowGraph::out_capacity(PeerId node) const {
@@ -163,6 +181,7 @@ void FlowGraph::remove_node(PeerId node) {
   in_[slot].clear();
   in_[slot].shrink_to_fit();
   index_.erase(node);
+  ++gen_;
 }
 
 void FlowGraph::clear() {
@@ -171,6 +190,7 @@ void FlowGraph::clear() {
   in_.clear();
   caps_.clear();
   num_edges_ = 0;
+  ++gen_;
 }
 
 bool FlowGraph::check_invariants() const {

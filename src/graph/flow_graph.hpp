@@ -22,9 +22,22 @@
 #include <vector>
 
 #include "graph/peer_index.hpp"
+#include "util/assert.hpp"
 #include "util/checked.hpp"  // BC_NO_SANITIZE_INTEGER
 #include "util/ids.hpp"
 #include "util/units.hpp"
+
+/// Debug-build invalidation checking for EdgeView. When on, every view
+/// carries a snapshot of the owning graph's generation counter and every
+/// access asserts the graph has not been structurally mutated since the
+/// view was taken — the dynamic counterpart of bc-analyze rule L2
+/// (invalidated-view). Release builds compile the bookkeeping out entirely;
+/// EdgeView is then layout-identical to std::span<const Edge>.
+#ifndef NDEBUG
+#define BC_GRAPH_GENERATION_CHECKS 1
+#else
+#define BC_GRAPH_GENERATION_CHECKS 0
+#endif
 
 namespace bc::graph {
 
@@ -38,6 +51,77 @@ struct Edge {
 
   friend bool operator==(const Edge&, const Edge&) = default;
 };
+
+/// A read-only view of one node's adjacency array. Semantically a
+/// std::span<const Edge> (and exactly that in release builds), but in debug
+/// and validate builds every access BC_DASSERT-checks that the owning
+/// FlowGraph has not been structurally mutated (edge inserted/erased, node
+/// removed, clear()) since the view was taken — holding a view across
+/// add_capacity/set_capacity/remove_node is the classic dangling-span bug
+/// (bc-analyze rule L2), and this makes it fail-stop instead of silent UB.
+class EdgeView {
+ public:
+  using value_type = Edge;
+  using iterator = const Edge*;
+
+  EdgeView() = default;
+
+  const Edge* begin() const {
+    check();
+    return span_.data();
+  }
+  const Edge* end() const {
+    check();
+    return span_.data() + span_.size();
+  }
+  std::size_t size() const {
+    check();
+    return span_.size();
+  }
+  bool empty() const {
+    check();
+    return span_.empty();
+  }
+  const Edge& operator[](std::size_t i) const {
+    check();
+    return span_[i];
+  }
+  const Edge& front() const {
+    check();
+    return span_.front();
+  }
+  const Edge& back() const {
+    check();
+    return span_.back();
+  }
+
+ private:
+  friend class FlowGraph;
+
+#if BC_GRAPH_GENERATION_CHECKS
+  EdgeView(std::span<const Edge> span, const std::uint64_t* gen)
+      : span_(span), gen_(gen), snapshot_(gen != nullptr ? *gen : 0) {}
+
+  void check() const {
+    BC_DASSERT(gen_ == nullptr || *gen_ == snapshot_);
+  }
+
+  std::span<const Edge> span_;
+  const std::uint64_t* gen_ = nullptr;  // owning graph's counter; null = empty
+  std::uint64_t snapshot_ = 0;          // counter value when the view was taken
+#else
+  explicit EdgeView(std::span<const Edge> span) : span_(span) {}
+
+  void check() const {}
+
+  std::span<const Edge> span_;
+#endif
+};
+
+#if !BC_GRAPH_GENERATION_CHECKS
+static_assert(sizeof(EdgeView) == sizeof(std::span<const Edge>),
+              "EdgeView must carry zero overhead in release builds");
+#endif
 
 class FlowGraph {
  public:
@@ -57,11 +141,13 @@ class FlowGraph {
   std::size_t num_edges() const { return num_edges_; }
 
   /// Successors of `node` with positive capacity, ascending by PeerId.
-  /// Empty span for an unknown node. Invalidated by any mutation.
-  std::span<const Edge> out_edges(PeerId node) const;
+  /// Empty view for an unknown node. Invalidated by any structural mutation
+  /// (debug builds assert on stale access; see EdgeView).
+  EdgeView out_edges(PeerId node) const;
   /// Predecessors of `node` (each entry: tail peer and the capacity of the
-  /// edge into `node`), ascending by PeerId. Invalidated by any mutation.
-  std::span<const Edge> in_edges(PeerId node) const;
+  /// edge into `node`), ascending by PeerId. Invalidated by any structural
+  /// mutation (debug builds assert on stale access; see EdgeView).
+  EdgeView in_edges(PeerId node) const;
 
   /// All node ids, sorted ascending (deterministic across runs and
   /// standard-library implementations).
@@ -93,9 +179,20 @@ class FlowGraph {
   /// tests of this module only (bc-analyze G1 enforces the boundary).
   const PeerIndex& index() const { return index_; }
 
+  /// Structural-mutation counter: bumped by every edge insert/erase,
+  /// remove_node and clear() — exactly the operations that can invalidate
+  /// an outstanding EdgeView. Maintained in all build types (one increment
+  /// per mutation is noise next to the adjacency work); only debug builds
+  /// *check* it. Exposed for tests and external snapshot protocols.
+  std::uint64_t generation() const { return gen_; }
+
  private:
   // Ensures the node exists, returning its slot.
   NodeIndex touch(PeerId node);
+
+  // Adjacency of `node` in one side (out_ or in_); empty for unknown nodes.
+  std::span<const Edge> edges_of(const std::vector<std::vector<Edge>>& side,
+                                 PeerId node) const;
 
   /// Flat open-addressing sidecar mapping (tail slot, head PeerId) to the
   /// edge capacity. The sorted adjacency arrays stay the source of truth
@@ -210,6 +307,7 @@ class FlowGraph {
   std::vector<std::vector<Edge>> in_;   // slot -> sorted in-adjacency
   CapSidecar caps_;                     // (slot, head) -> capacity
   std::size_t num_edges_ = 0;
+  std::uint64_t gen_ = 0;  // see generation()
 };
 
 }  // namespace bc::graph

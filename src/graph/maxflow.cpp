@@ -47,8 +47,8 @@ class Residual {
   /// arrays make the deterministic order free — no collect-and-sort pass.
   template <typename Fn>
   void for_each_residual_edge(PeerId u, Fn&& fn) const {
-    const std::span<const Edge> out = g_.out_edges(u);
-    const std::span<const Edge> in = g_.in_edges(u);
+    const EdgeView out = g_.out_edges(u);
+    const EdgeView in = g_.in_edges(u);
     std::size_t i = 0;
     std::size_t j = 0;
     while (i < out.size() || j < in.size()) {
@@ -244,8 +244,8 @@ Bytes max_flow_two_hop(const FlowGraph& g, PeerId s, PeerId t) {
   // predecessors: each shared neighbour v contributes min(c(s,v), c(v,t)).
   // Neither span can contain its own node (no self-edges), so s and t are
   // excluded from the intersection automatically.
-  const std::span<const Edge> out = g.out_edges(s);
-  const std::span<const Edge> in = g.in_edges(t);
+  const EdgeView out = g.out_edges(s);
+  const EdgeView in = g.in_edges(t);
   std::size_t i = 0;
   std::size_t j = 0;
   while (i < out.size() && j < in.size()) {

@@ -1,0 +1,32 @@
+// L1 fixture: functions declared to return a view or reference must not
+// bind it to frame-local storage — the storage dies with the frame.
+// Expected findings are hard-coded in tests/analysis_tool/test_bc_analyze.py;
+// keep line numbers stable when editing.
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+std::span<const int> local_span() {
+  std::vector<int> scratch = {1, 2, 3};
+  return scratch;  // line 12: L1, view into a local dying with the frame
+}
+
+std::string_view temp_view() {
+  return std::string("peer-").substr(0, 4);  // line 16: L1, temporary
+}
+
+std::string_view borrowed_view() {
+  std::string name = "peer-42";
+  std::string_view head = name;
+  return head;  // line 22: L1, a view borrowed from local `name`
+}
+
+const int& local_ref() {
+  int total = 0;
+  return total;  // line 27: L1, reference to a local
+}
+
+std::string_view stable_view(const std::string& owner) {
+  return owner;  // caller-owned storage: no finding
+}

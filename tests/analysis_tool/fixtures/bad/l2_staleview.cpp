@@ -1,0 +1,61 @@
+// L2 fixture: views used after a call that may invalidate the owner's
+// storage. `stale_after_add` re-creates the dangling-span bug this rule
+// exists to catch: a span from out_edges() held across add_edge(), which
+// reaches out_.resize() two calls deep (add_edge -> touch), so the
+// evidence must carry the composed call chain. `mutate_during_iteration`
+// is the direct shape: growing a container inside its own range-for.
+// Expected findings are hard-coded in tests/analysis_tool/test_bc_analyze.py;
+// keep line numbers stable when editing.
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace graph {
+
+struct Edge {
+  int peer;
+  long cap;
+};
+
+class MiniGraph {
+ public:
+  std::span<const Edge> out_edges(int node) const {
+    return out_[static_cast<std::size_t>(node)];
+  }
+
+  void add_edge(int from, int to, long cap) {
+    touch(from);
+    store(from, to, cap);
+  }
+
+ private:
+  void touch(int node) {
+    if (static_cast<std::size_t>(node) >= out_.size()) {
+      out_.resize(static_cast<std::size_t>(node) + 1);  // line 34: evidence
+    }
+  }
+
+  void store(int from, int to, long cap) {
+    auto& adj = out_[static_cast<std::size_t>(from)];
+    adj.push_back(Edge{to, cap});
+  }
+
+  std::vector<std::vector<Edge>> out_;
+};
+
+long stale_after_add(MiniGraph& g) {
+  auto out = g.out_edges(0);
+  g.add_edge(0, 1, 10);
+  return out.empty() ? 0 : out[0].cap;  // line 49: L2, two calls deep
+}
+
+long mutate_during_iteration(std::vector<long>& totals) {
+  long acc = 0;
+  for (long t : totals) {
+    acc += t;
+    totals.push_back(acc);  // line 56: L2, mutation inside the range-for
+  }
+  return acc;
+}
+
+}  // namespace graph

@@ -1,0 +1,19 @@
+// L4 fixture: a moved-from local or parameter is read again with no
+// intervening reassignment. Expected findings are hard-coded in
+// tests/analysis_tool/test_bc_analyze.py; keep line numbers stable.
+#include <string>
+#include <utility>
+#include <vector>
+
+std::vector<std::string> build_batch(std::string header) {
+  std::vector<std::string> batch;
+  batch.push_back(std::move(header));
+  batch.push_back(header);  // line 11: L4, header already moved
+  return batch;
+}
+
+std::string concat_ids(std::string all) {
+  std::string copy = std::move(all);
+  copy += all;  // line 17: L4, all already moved
+  return copy;
+}

@@ -1,0 +1,75 @@
+// Lifetime good fixture: each function is the *discharged* twin of an
+// L1-L4 bad-fixture shape and must produce zero findings — re-acquiring a
+// view after the mutation, copying into owning storage before mutating,
+// branch-disjoint mutation and use, value captures of non-views, and
+// reassignment after a move.
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sim {
+
+class Engine {
+ public:
+  void schedule_after(double delay, std::function<void()> fn) {
+    (void)delay;
+    pending_.push_back(std::move(fn));
+  }
+
+ private:
+  std::vector<std::function<void()>> pending_;
+};
+
+}  // namespace sim
+
+namespace graph {
+
+class MiniGraph {
+ public:
+  std::span<const long> row(int node) const {
+    return rows_[static_cast<std::size_t>(node)];
+  }
+
+  void add_row() { rows_.emplace_back(); }
+
+ private:
+  std::vector<std::vector<long>> rows_;
+};
+
+long reacquired_after_add(MiniGraph& g) {
+  auto out = g.row(0);
+  g.add_row();
+  out = g.row(0);  // re-acquired: the mutation is discharged
+  return out.empty() ? 0 : out[0];
+}
+
+long owning_copy(MiniGraph& g) {
+  std::vector<long> snapshot(g.row(0).begin(), g.row(0).end());
+  g.add_row();
+  return snapshot.empty() ? 0 : snapshot[0];  // owns its storage
+}
+
+long erase_or_update(std::vector<long>& adj, bool drop) {
+  auto it = adj.begin();
+  if (drop) {
+    adj.erase(it);  // this path returns before the later use
+    return 0;
+  }
+  *it += 1;
+  return *it;
+}
+
+}  // namespace graph
+
+void arm_by_value(sim::Engine& engine) {
+  long sent = 42;
+  engine.schedule_after(1.0, [sent] { (void)sent; });  // value capture
+}
+
+std::string reset_after_move(std::string name) {
+  std::string stored = std::move(name);
+  name = "replacement";  // reassigned: the moved-from state is gone
+  return stored + name;
+}

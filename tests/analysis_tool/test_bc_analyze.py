@@ -110,6 +110,18 @@ class BadFixtures(unittest.TestCase):
             ("v3_narrowing.cpp", 13, "V3"),
             ("v4_span.cpp", 7, "V4"),
             ("v4_span.cpp", 11, "V4"),
+            # Lifetime rules (escape analysis over the call graph).
+            ("l1_dangling.cpp", 12, "L1"),
+            ("l1_dangling.cpp", 16, "L1"),
+            ("l1_dangling.cpp", 22, "L1"),
+            ("l1_dangling.cpp", 27, "L1"),
+            ("l2_staleview.cpp", 49, "L2"),
+            ("l2_staleview.cpp", 56, "L2"),
+            ("l3_capture.cpp", 26, "L3"),
+            ("l3_capture.cpp", 27, "L3"),
+            ("l3_capture.cpp", 32, "L3"),
+            ("l4_moved.cpp", 11, "L4"),
+            ("l4_moved.cpp", 17, "L4"),
         }
         self.assertEqual(self.findings, expected)
 
@@ -182,6 +194,179 @@ class DataflowEvidence(unittest.TestCase):
             line = self._line(anchor)
             self.assertIn("a_", line)
             self.assertIn("b_", line)
+
+
+class LifetimeEvidence(unittest.TestCase):
+    """The L rules must carry actionable evidence: L1 names the dying
+    local, L2 names the borrow point and the composed invalidation chain
+    (two calls deep for the fixture's add_edge -> touch -> resize path),
+    L3 names the storing sink, L4 points back at the move."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.lines = run_analyzer(str(FIXTURES / "bad")).stdout.splitlines()
+
+    def _line(self, anchor):
+        return next(l for l in self.lines if anchor in l)
+
+    def test_l1_names_the_local_and_its_declaration(self):
+        line = self._line("l1_dangling.cpp:12:")
+        self.assertIn("`scratch`", line)
+        self.assertIn("l1_dangling.cpp:11", line)
+
+    def test_l1_borrowed_view_names_the_owner(self):
+        line = self._line("l1_dangling.cpp:22:")
+        self.assertIn("a view borrowed from local `name`", line)
+
+    def test_l2_reports_two_call_deep_chain(self):
+        line = self._line("l2_staleview.cpp:49:")
+        self.assertIn("borrowed from `g` via `out_edges`", line)
+        self.assertIn("l2_staleview.cpp:47", line)
+        self.assertIn("graph::MiniGraph::add_edge"
+                      " -> graph::MiniGraph::touch", line)
+        self.assertIn("`out_.resize(...)`", line)
+        self.assertIn("l2_staleview.cpp:34", line)
+
+    def test_l2_range_for_names_loop_and_mutation(self):
+        line = self._line("l2_staleview.cpp:56:")
+        self.assertIn("`totals.push_back(...)`", line)
+        self.assertIn("l2_staleview.cpp:54", line)
+
+    def test_l3_names_the_storing_sink(self):
+        line = self._line("l3_capture.cpp:26:")
+        self.assertIn("sim::Engine::schedule_after", line)
+        self.assertIn("[&]", line)
+
+    def test_l3_flags_view_captured_by_value(self):
+        line = self._line("l3_capture.cpp:32:")
+        self.assertIn("view `first` by value", line)
+
+    def test_l4_points_at_the_move(self):
+        line = self._line("l4_moved.cpp:11:")
+        self.assertIn("std::move(header)", line)
+        self.assertIn("l4_moved.cpp:10", line)
+
+
+class EscapeUnits(unittest.TestCase):
+    """Unit coverage of the escape layer behind the L rules: borrow-fact
+    extraction, accessor classification, and direct/transitive mutation
+    summaries."""
+
+    @classmethod
+    def setUpClass(cls):
+        sys.path.insert(0, str(REPO_ROOT / "scripts"))
+        import bc_analyze.escape as escape
+        cls.escape = escape
+
+    def _program(self, code):
+        from bc_analyze.callgraph import Program
+        from bc_analyze.source import load_source
+        from bc_analyze import RULES
+        tmp = Path(tempfile.mkdtemp(dir=TESTS_DIR))
+        self.addCleanup(lambda: __import__("shutil").rmtree(tmp))
+        src = tmp / "probe.cpp"
+        src.write_text(code, encoding="utf-8")
+        sf = load_source(src, "probe.cpp", set(RULES))
+        return Program([sf])
+
+    def test_borrow_facts_cover_views_refs_and_range_for(self):
+        prog = self._program(
+            "#include <span>\n"
+            "#include <vector>\n"
+            "struct G { std::span<const int> row(int) const"
+            " { return {}; } };\n"
+            "void f(G& g, std::vector<int>& v) {\n"
+            "  auto r = g.row(0);\n"
+            "  auto it = v.begin();\n"
+            "  auto& slot = v[0];\n"
+            "  for (int x : v) { (void)x; }\n"
+            "}\n")
+        fn = next(f for f in prog.functions if f.name == "f")
+        sf = prog.by_rel[fn.rel]
+        accessors = self.escape.view_accessors(prog)
+        borrows = {b.var: b for b in
+                   self.escape.borrows_in(fn, sf, accessors)}
+        self.assertEqual(borrows["r"].owner, "g")
+        self.assertEqual(borrows["r"].via, "row")
+        self.assertEqual(borrows["it"].owner, "v")
+        self.assertEqual(borrows["slot"].owner, "v")
+        self.assertEqual(borrows["<range-for>"].owner, "v")
+
+    def test_owning_snapshots_are_not_borrows(self):
+        prog = self._program(
+            "#include <string>\n"
+            "struct M { std::string s_; };\n"
+            "void f(M& m) {\n"
+            "  auto copy = m.s_.substr(0, 4);\n"
+            "  auto n = m.s_.size();\n"
+            "}\n")
+        fn = next(f for f in prog.functions if f.name == "f")
+        sf = prog.by_rel[fn.rel]
+        accessors = self.escape.view_accessors(prog)
+        self.assertEqual(self.escape.borrows_in(fn, sf, accessors), [])
+
+    def test_direct_mutation_seeds_receiver_summary(self):
+        prog = self._program(
+            "#include <vector>\n"
+            "class C {\n"
+            " public:\n"
+            "  void grow() { data_.push_back(1); }\n"
+            "  void read() const { (void)data_.size(); }\n"
+            " private:\n"
+            "  std::vector<int> data_;\n"
+            "};\n")
+        summaries = self.escape.MutationSummaries(prog)
+        grow = next(f for f in prog.functions if f.name == "grow")
+        read = next(f for f in prog.functions if f.name == "read")
+        self.assertIn(id(grow), summaries.invalidates_receiver)
+        self.assertNotIn(id(read), summaries.invalidates_receiver)
+        inv = summaries.invalidates_receiver[id(grow)]
+        self.assertIn("data_.push_back", inv.evidence)
+
+    def test_transitive_summary_composes_with_chain(self):
+        prog = self._program(
+            "#include <vector>\n"
+            "class C {\n"
+            " public:\n"
+            "  void outer() { inner(); }\n"
+            " private:\n"
+            "  void inner() { data_.resize(8); }\n"
+            "  std::vector<int> data_;\n"
+            "};\n")
+        summaries = self.escape.MutationSummaries(prog)
+        outer = next(f for f in prog.functions if f.name == "outer")
+        inv = summaries.invalidates_receiver.get(id(outer))
+        self.assertIsNotNone(inv)
+        self.assertEqual(inv.depth, 1)
+        self.assertEqual(inv.chain, ["C::outer", "C::inner"])
+        self.assertIn("data_.resize", inv.evidence)
+
+    def test_mutable_ref_param_mutation_is_summarized(self):
+        prog = self._program(
+            "#include <vector>\n"
+            "void append(std::vector<int>& v, int x) { v.push_back(x); }\n"
+            "void keep(const std::vector<int>& v) { (void)v.size(); }\n")
+        summaries = self.escape.MutationSummaries(prog)
+        append = next(f for f in prog.functions if f.name == "append")
+        keep = next(f for f in prog.functions if f.name == "keep")
+        self.assertIn("v", summaries.mutates_ref_params.get(id(append), {}))
+        self.assertNotIn(id(keep), summaries.mutates_ref_params)
+
+    def test_view_accessor_classification(self):
+        prog = self._program(
+            "#include <span>\n"
+            "#include <vector>\n"
+            "struct G {\n"
+            "  std::span<const int> row(int) const { return {}; }\n"
+            "  const int& at_slot(int i) const { return slots_[i]; }\n"
+            "  std::vector<int> sorted_view() const { return slots_; }\n"
+            "  std::vector<int> slots_;\n"
+            "};\n")
+        accessors = self.escape.view_accessors(prog)
+        self.assertEqual(accessors.get("row"), "view")
+        self.assertEqual(accessors.get("at_slot"), "ref")
+        self.assertNotIn("sorted_view", accessors)
+        self.assertIn("begin", accessors)  # builtin model
 
 
 class FrontendDegradation(unittest.TestCase):
@@ -267,7 +452,8 @@ class SarifOutput(unittest.TestCase):
         # can render the catalogue.
         rules = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
         self.assertLessEqual({"D1", "D4", "P1", "C4", "C5", "SUP",
-                              "V1", "V2", "V3", "V4"}, rules)
+                              "V1", "V2", "V3", "V4",
+                              "L1", "L2", "L3", "L4"}, rules)
 
 
 class CacheBehavior(unittest.TestCase):
@@ -333,7 +519,7 @@ class CliBehavior(unittest.TestCase):
         proc = run_analyzer("--list-rules")
         self.assertEqual(proc.returncode, 0)
         for rule in ("D1", "D2", "D3", "B1", "B2", "C1", "C2", "C3", "G1",
-                     "V1", "V2", "V3", "V4", "SUP"):
+                     "V1", "V2", "V3", "V4", "L1", "L2", "L3", "L4", "SUP"):
             self.assertIn(rule, proc.stdout)
 
     def test_missing_path_is_infra_error(self):
