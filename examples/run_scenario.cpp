@@ -36,6 +36,9 @@ const std::map<std::string, std::string> kFlags = {
     {"ignorers", "fraction ignoring the message protocol (default 0)"},
     {"liars", "fraction lying about contributions (default 0)"},
     {"seed-hours", "sharer seeding duration in hours (default 10)"},
+    {"population", "behavior spec overriding the fraction flags, e.g. "
+                   "\"sharer:0.5,lazy:0.3,sybil:0.2\""},
+    {"backend", "reputation backend: maxflow (default) or gossip"},
     {"csv", "emit CSV tables instead of aligned text"},
 };
 
@@ -103,7 +106,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
     return fail_usage(argv[0]);
   }
+  cfg.population = flags.get("population", "");
+  const std::string backend = flags.get("backend", "maxflow");
+  const auto backend_kind = bartercast::parse_backend(backend);
+  if (!backend_kind.has_value()) {
+    std::fprintf(stderr, "unknown --backend '%s'\n", backend.c_str());
+    return fail_usage(argv[0]);
+  }
+  cfg.node.backend = *backend_kind;
   if (!flags.valid()) return fail_usage(argv[0]);
+  const std::string config_error = cfg.validate();
+  if (!config_error.empty()) {
+    std::fprintf(stderr, "bad scenario: %s\n", config_error.c_str());
+    return 1;
+  }
 
   // --- run -----------------------------------------------------------
   community::CommunitySimulator sim(std::move(tr), cfg);

@@ -35,6 +35,7 @@
 #include <map>
 
 #include "analysis/experiment.hpp"
+#include "bartercast/backend.hpp"
 #include "check/audit.hpp"
 #include "community/simulator.hpp"
 #include "obs/export.hpp"
@@ -56,6 +57,8 @@ int main(int argc, char** argv) {
       {"trace-ring", "flight recorder: keep only the last N trace events"},
       {"profile", "profile hot sites and print the report"},
       {"threads", "worker threads for the batch reputation sweeps (>= 1)"},
+      {"population", "behavior spec, e.g. \"sharer:0.5,lazy:0.3,sybil:0.2\""},
+      {"backend", "reputation backend: maxflow (default) or gossip"},
   };
   auto flags = Flags::parse(argc, argv, allowed);
   if (!flags.has_value()) {
@@ -113,6 +116,19 @@ int main(int argc, char** argv) {
   }
   cfg.threads = static_cast<std::size_t>(threads);
   cfg.metrics_stream_path = metrics_stream;
+  cfg.population = flags->get("population", "");
+  const std::string backend = flags->get("backend", "maxflow");
+  const auto backend_kind = bartercast::parse_backend(backend);
+  if (!backend_kind.has_value()) {
+    std::fprintf(stderr, "error: unknown --backend '%s'\n", backend.c_str());
+    return 1;
+  }
+  cfg.node.backend = *backend_kind;
+  const std::string config_error = cfg.validate();
+  if (!config_error.empty()) {
+    std::fprintf(stderr, "error: %s\n", config_error.c_str());
+    return 1;
+  }
 
   community::CommunitySimulator sim(trace::generate(tcfg), cfg);
   sim.run();
@@ -129,7 +145,7 @@ int main(int argc, char** argv) {
   Table t({"peer", "class", "up", "down", "reputation", "completed"});
   for (const auto& o : m.outcomes) {
     t.add_row({std::to_string(o.peer),
-               community::is_freerider(o.behavior) ? "freerider" : "sharer",
+               o.freerider ? "freerider" : "sharer",
                fmt_bytes(o.total_uploaded), fmt_bytes(o.total_downloaded),
                fmt(o.final_system_reputation, 3),
                std::to_string(o.files_completed) + "/" +

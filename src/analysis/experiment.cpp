@@ -12,7 +12,7 @@ std::vector<ContributionPoint> contribution_points(
   for (const auto& o : metrics.outcomes) {
     ContributionPoint p;
     p.peer = o.peer;
-    p.freerider = community::is_freerider(o.behavior);
+    p.freerider = o.freerider;
     p.net_contribution_gib = to_gib(o.net_contribution());
     p.system_reputation = o.final_system_reputation;
     out.push_back(p);

@@ -77,7 +77,7 @@ std::string write_scatter_plot(const community::Metrics& metrics,
   for (const auto& o : metrics.outcomes) {
     dat += std::to_string(to_gib(o.net_contribution())) + ' ' +
            std::to_string(o.final_system_reputation) + ' ' +
-           (community::is_freerider(o.behavior) ? "1" : "0") + '\n';
+           (o.freerider ? "1" : "0") + '\n';
   }
   const std::string gp =
       "set terminal pngcairo size 800,500\n"

@@ -7,7 +7,8 @@ Node::Node(PeerId self, NodeConfig config)
       config_(config),
       history_(self),
       view_(self),
-      cached_(view_, ReputationEngine(config.reputation)) {}
+      cached_(view_, make_backend(config.backend, config.reputation,
+                                  config.gossip)) {}
 
 void Node::on_bytes_sent(PeerId remote, Bytes amount, Seconds now) {
   history_.record_upload(remote, amount, now);

@@ -12,6 +12,7 @@
 // See examples/quickstart.cpp for end-to-end usage.
 #pragma once
 
+#include "bartercast/backend.hpp"
 #include "bartercast/history.hpp"
 #include "bartercast/message.hpp"
 #include "bartercast/reputation.hpp"
@@ -24,6 +25,10 @@ namespace bc::bartercast {
 struct NodeConfig {
   MessageSelection selection;   // Nh / Nr record selection
   ReputationConfig reputation;  // maxflow mode + arctan unit
+  /// Which aggregation metric the node evaluates reputations with.
+  BackendKind backend = BackendKind::kMaxflow;
+  /// Knobs for BackendKind::kDifferentialGossip (ignored otherwise).
+  DifferentialGossipConfig gossip;
 };
 
 class Node {

@@ -69,7 +69,7 @@ double CachedReputation::reputation(PeerId subject) {
   }
   ++misses_;
   it->second.version = view_.version();
-  it->second.value = engine_.reputation(view_, subject);
+  it->second.value = backend_->reputation(view_, subject);
   return it->second.value;
 }
 

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string_view>
 #include <unordered_map>
 
 #include "bartercast/shared_history.hpp"
@@ -69,29 +71,83 @@ class ReputationEngine {
   ReputationConfig config_;
 };
 
+/// Pluggable reputation-aggregation metric: R_evaluator(subject) in [-1, 1]
+/// computed on the evaluator's subjective view. The production metric is
+/// MaxflowBackend (Eq. 1); alternative aggregation schemes (see
+/// backend.hpp) implement the same contract so the node, simulator, and
+/// policies stay metric-agnostic.
+class ReputationBackend {
+ public:
+  virtual ~ReputationBackend() = default;
+
+  /// Stable identifier ("maxflow", "differential-gossip", ...).
+  virtual std::string_view name() const = 0;
+
+  /// R_view.owner()(subject). Unknown subjects and subject == owner yield
+  /// 0 (a neutral newcomer). Must be a pure function of (view contents,
+  /// subject): CachedReputation replays it on version bumps.
+  virtual double reputation(const SharedHistory& view,
+                            PeerId subject) const = 0;
+
+  /// True when the metric depends only on the subject's two-hop
+  /// neighbourhood, enabling CachedReputation's per-subject dirty
+  /// tracking (see below). Metrics with global propagation must return
+  /// false so the cache falls back to exact version checks.
+  virtual bool incremental_two_hop() const = 0;
+};
+
+/// The paper's metric (Eq. 1) as a backend: arctan-scaled two-way maxflow
+/// on the subjective graph. This is the production default.
+class MaxflowBackend final : public ReputationBackend {
+ public:
+  explicit MaxflowBackend(ReputationEngine engine = ReputationEngine{})
+      : engine_(engine) {}
+
+  std::string_view name() const override { return "maxflow"; }
+  double reputation(const SharedHistory& view,
+                    PeerId subject) const override {
+    return engine_.reputation(view, subject);
+  }
+  bool incremental_two_hop() const override {
+    return engine_.config().mode == MaxflowMode::kTwoHopExact ||
+           (engine_.config().mode == MaxflowMode::kBoundedFordFulkerson &&
+            engine_.config().max_path_edges <= 2);
+  }
+
+  const ReputationEngine& engine() const { return engine_; }
+
+ private:
+  ReputationEngine engine_;
+};
+
 /// Version-keyed reputation cache bound to one SharedHistory. Reputations
-/// are recomputed lazily when the underlying view changed.
+/// are recomputed lazily (through the configured backend) when the
+/// underlying view changed.
 ///
-/// For modes confined to two-hop paths (the production kTwoHopExact, and
-/// kBoundedFordFulkerson with max_path_edges <= 2) the cache validates
-/// entries against SharedHistory::last_change(subject): an entry survives
-/// any mutation outside the two-hop neighbourhood of its subject, instead
-/// of the whole cache flushing on every version bump. Longer-path ablation
-/// modes fall back to the exact-version check, since a distant edge can
-/// then reroute an augmenting path.
+/// For backends confined to two-hop paths (MaxflowBackend in the
+/// production kTwoHopExact mode, or kBoundedFordFulkerson with
+/// max_path_edges <= 2) the cache validates entries against
+/// SharedHistory::last_change(subject): an entry survives any mutation
+/// outside the two-hop neighbourhood of its subject, instead of the whole
+/// cache flushing on every version bump. Backends with global propagation
+/// (and longer-path ablation modes) fall back to the exact-version check,
+/// since a distant edge can then change any score.
 class CachedReputation {
  public:
+  /// Legacy maxflow form: wraps `engine` in a MaxflowBackend.
   CachedReputation(const SharedHistory& view, ReputationEngine engine)
+      : CachedReputation(view, std::make_unique<MaxflowBackend>(engine)) {}
+
+  /// Pluggable form: the cache owns the backend.
+  CachedReputation(const SharedHistory& view,
+                   std::unique_ptr<const ReputationBackend> backend)
       : view_(view),
-        engine_(engine),
-        incremental_(
-            engine_.config().mode == MaxflowMode::kTwoHopExact ||
-            (engine_.config().mode == MaxflowMode::kBoundedFordFulkerson &&
-             engine_.config().max_path_edges <= 2)) {}
+        backend_(std::move(backend)),
+        incremental_(backend_->incremental_two_hop()) {}
 
   double reputation(PeerId subject);
 
-  const ReputationEngine& engine() const { return engine_; }
+  const ReputationBackend& backend() const { return *backend_; }
   /// True when per-subject dirty tracking is in effect (see class comment).
   bool incremental() const { return incremental_; }
   std::uint64_t hits() const { return hits_; }
@@ -104,7 +160,7 @@ class CachedReputation {
   };
 
   const SharedHistory& view_;
-  ReputationEngine engine_;
+  std::unique_ptr<const ReputationBackend> backend_;
   bool incremental_;
   std::unordered_map<PeerId, Entry> cache_;
   std::uint64_t hits_ = 0;

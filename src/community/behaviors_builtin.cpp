@@ -1,0 +1,212 @@
+// The built-in adversary zoo (see DESIGN.md §12 for the catalog rationale).
+//
+// The first four archetypes are the paper's §5.1/§5.4 population; the rest
+// extend the evaluation with the classic attack families BarterCast claims
+// (or needs to demonstrate) robustness against:
+//
+//   * sybil-region  — a clique of identities mutually inflating each
+//                     other's standing (Douceur's sybil attack applied to
+//                     the gossip layer);
+//   * slanderer     — false-report injection against real benefactors;
+//   * strategic-uploader — a BitTyrant-style exploiter that invests the
+//                     minimum seeding needed to game reciprocation
+//                     (Nielson et al.'s incentive-attack taxonomy,
+//                     PAPERS.md);
+//   * mobile-churner — an *honest* duty-cycled profile, for measuring how
+//                     much a reputation mechanism punishes churn
+//                     (false-ban pressure), not an attack.
+//
+// Every fabricated message keeps the protocol shape a receiver can verify
+// (each record is a claim by the sender about one distinct counterparty,
+// at most Nh+Nr of them): adversaries lie about *amounts*, which is the
+// part no honest verifier can check.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "bartercast/node.hpp"
+#include "community/behavior.hpp"
+#include "community/scenario.hpp"
+#include "util/assert.hpp"
+
+namespace bc::community {
+
+namespace {
+
+// --- the paper's §5.1/§5.4 population ---------------------------------
+
+class Sharer final : public PeerBehavior {
+ public:
+  std::string_view name() const override { return "sharer"; }
+  bool freerider() const override { return false; }
+};
+
+class LazyFreerider final : public PeerBehavior {
+ public:
+  std::string_view name() const override { return "lazy-freerider"; }
+  bool freerider() const override { return true; }
+};
+
+class IgnoringFreerider final : public PeerBehavior {
+ public:
+  std::string_view name() const override { return "ignoring-freerider"; }
+  bool freerider() const override { return true; }
+  bool sends_messages() const override { return false; }
+};
+
+class LyingFreerider final : public PeerBehavior {
+ public:
+  std::string_view name() const override { return "lying-freerider"; }
+  bool freerider() const override { return true; }
+  bartercast::BarterCastMessage make_message(
+      const MessageContext& ctx) const override {
+    return bartercast::build_lying_message(ctx.node.history(),
+                                           ctx.config.node.selection,
+                                           ctx.config.liar_claimed_upload,
+                                           ctx.now);
+  }
+};
+
+// --- extended adversaries ----------------------------------------------
+
+/// Sybil region: every member claims each fellow member uploaded
+/// `sybil_claimed_upload` bytes to it, creating a clique of fabricated
+/// cohort->member edges in receivers' subjective graphs. Under two-hop
+/// maxflow a fabricated edge c->m only carries flow capped by m's *real*
+/// out-capacity toward the evaluator, so the bench can measure how tightly
+/// the metric bounds mutual promotion.
+class SybilRegion final : public PeerBehavior {
+ public:
+  std::string_view name() const override { return "sybil-region"; }
+  bool freerider() const override { return true; }
+  bartercast::BarterCastMessage make_message(
+      const MessageContext& ctx) const override {
+    BC_ASSERT(ctx.cohort != nullptr);
+    const auto& selection = ctx.config.node.selection;
+    const std::size_t limit = selection.nh + selection.nr;
+    bartercast::BarterCastMessage msg;
+    msg.sender = ctx.self;
+    msg.sent_at = ctx.now;
+    // Cohort claims first (ascending PeerId: deterministic), then the
+    // honest records about peers outside the region, within the Nh+Nr
+    // limit and without duplicate counterparties.
+    for (PeerId member : *ctx.cohort) {
+      if (member == ctx.self || msg.records.size() >= limit) continue;
+      bartercast::BarterRecord rec;
+      rec.subject = ctx.self;
+      rec.other = member;
+      rec.subject_to_other = 0;
+      rec.other_to_subject = ctx.config.sybil_claimed_upload;
+      msg.records.push_back(rec);
+    }
+    const bartercast::BarterCastMessage honest = ctx.node.make_message(ctx.now);
+    for (const bartercast::BarterRecord& rec : honest.records) {
+      if (msg.records.size() >= limit) break;
+      const bool covered =
+          std::any_of(msg.records.begin(), msg.records.end(),
+                      [&](const bartercast::BarterRecord& existing) {
+                        return existing.other == rec.other;
+                      });
+      if (!covered) msg.records.push_back(rec);
+    }
+    return msg;
+  }
+};
+
+/// Slander / false-report injection: takes the honest message and rewrites
+/// the records about its `slander_victims` largest real benefactors into
+/// "I uploaded `slander_claimed_upload` to them, they gave me nothing".
+/// The fabricated victim-inbound edge raises flow(evaluator -> victim) at
+/// every evaluator that really uploaded to the slanderer, dragging the
+/// victim's Equation-1 reputation down.
+class Slanderer final : public PeerBehavior {
+ public:
+  std::string_view name() const override { return "slanderer"; }
+  bool freerider() const override { return true; }
+  bartercast::BarterCastMessage make_message(
+      const MessageContext& ctx) const override {
+    bartercast::BarterCastMessage msg = ctx.node.make_message(ctx.now);
+    if (msg.records.empty() || ctx.config.slander_victims == 0) return msg;
+    // Victims: the counterparties that really uploaded the most to us,
+    // ties broken by PeerId so the choice is deterministic.
+    std::vector<std::size_t> order(msg.records.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const auto& ra = msg.records[a];
+      const auto& rb = msg.records[b];
+      if (ra.other_to_subject != rb.other_to_subject) {
+        return ra.other_to_subject > rb.other_to_subject;
+      }
+      return ra.other < rb.other;
+    });
+    const std::size_t victims =
+        std::min(ctx.config.slander_victims, order.size());
+    for (std::size_t i = 0; i < victims; ++i) {
+      bartercast::BarterRecord& rec = msg.records[order[i]];
+      rec.subject_to_other = ctx.config.slander_claimed_upload;
+      rec.other_to_subject = 0;
+    }
+    return msg;
+  }
+};
+
+/// BitTyrant-style strategic uploader: invests a small, tunable fraction of
+/// the sharer seeding budget — just enough reciprocation and reputation to
+/// keep download slots — and otherwise behaves like a freerider. Honest
+/// messages: the exploit is in the transfer policy, not the gossip.
+class StrategicUploader final : public PeerBehavior {
+ public:
+  std::string_view name() const override { return "strategic-uploader"; }
+  bool freerider() const override { return true; }
+  Seconds seed_duration(const ScenarioConfig& config) const override {
+    return config.strategic_seed_fraction * config.seed_duration;
+  }
+};
+
+/// Honest peer on a flaky mobile link: every trace session is duty-cycled
+/// into `mobile_duty_cycle * mobile_churn_period` online bursts. Used to
+/// measure false-ban pressure: a mechanism that confuses churn with
+/// freeriding will push these honest peers under the ban threshold.
+class MobileChurner final : public PeerBehavior {
+ public:
+  std::string_view name() const override { return "mobile-churner"; }
+  bool freerider() const override { return false; }
+  void shape_sessions(std::vector<trace::Session>& sessions,
+                      const ScenarioConfig& config,
+                      Rng& churn_rng) const override {
+    const Seconds period = config.mobile_churn_period;
+    const double duty = config.mobile_duty_cycle;
+    BC_ASSERT(period > 0.0 && duty > 0.0 && duty <= 1.0);
+    if (duty >= 1.0) return;
+    const Seconds on = period * duty;
+    std::vector<trace::Session> shaped;
+    for (const trace::Session& s : sessions) {
+      // One phase draw per session decorrelates peers and sessions while
+      // staying deterministic in the dedicated churn stream.
+      const Seconds phase = churn_rng.uniform(0.0, period);
+      for (Seconds t = s.start - period + phase; t < s.end; t += period) {
+        trace::Session burst;
+        burst.start = std::max(t, s.start);
+        burst.end = std::min(t + on, s.end);
+        if (burst.end > burst.start) shaped.push_back(burst);
+      }
+    }
+    sessions = std::move(shaped);
+  }
+};
+
+}  // namespace
+
+void register_builtin_behaviors(BehaviorRegistry& registry) {
+  registry.register_behavior(std::make_unique<Sharer>(), {"honest"});
+  registry.register_behavior(std::make_unique<LazyFreerider>(), {"lazy", "freerider"});
+  registry.register_behavior(std::make_unique<IgnoringFreerider>(), {"ignoring", "ignorer"});
+  registry.register_behavior(std::make_unique<LyingFreerider>(), {"lying", "liar"});
+  registry.register_behavior(std::make_unique<SybilRegion>(), {"sybil"});
+  registry.register_behavior(std::make_unique<Slanderer>(), {"slander"});
+  registry.register_behavior(std::make_unique<StrategicUploader>(),
+               {"strategic", "bittyrant"});
+  registry.register_behavior(std::make_unique<MobileChurner>(), {"mobile", "churner"});
+}
+
+}  // namespace bc::community

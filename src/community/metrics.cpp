@@ -29,7 +29,7 @@ double Metrics::late_class_speed(bool freeriders) const {
   double bytes = 0.0;
   double time = 0.0;
   for (const auto& o : outcomes) {
-    if (is_freerider(o.behavior) != freeriders) continue;
+    if (o.freerider != freeriders) continue;
     bytes += static_cast<double>(o.late_downloaded);
     time += o.late_time_downloading;
   }

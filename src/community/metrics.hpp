@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
-#include "community/behavior.hpp"
 #include "obs/metrics.hpp"
 #include "util/ids.hpp"
 #include "util/timeseries.hpp"
@@ -15,7 +15,10 @@ namespace bc::community {
 /// Ground-truth and reputation outcomes for one trace peer.
 struct PeerOutcome {
   PeerId peer = kInvalidPeer;
-  Behavior behavior = Behavior::kSharer;
+  /// Canonical name of the peer's assigned behavior (registry key).
+  std::string behavior = "sharer";
+  /// Metrics class of that behavior (PeerBehavior::freerider()).
+  bool freerider = false;
   Bytes total_uploaded = 0;    // real bytes, simulator ground truth
   Bytes total_downloaded = 0;
   /// Net contribution = total upload - total download (§5.2).

@@ -25,6 +25,24 @@ struct ScenarioConfig {
   double ignorer_fraction = 0.0;  // §5.4 manipulation (1), subset of above
   double liar_fraction = 0.0;     // §5.4 manipulation (2), subset of above
   Bytes liar_claimed_upload = gib(10.0);
+  /// Composable population spec ("sharer:0.5,lazy:0.3,sybil-region:0.2",
+  /// see PopulationSpec in behavior.hpp). When non-empty it supersedes the
+  /// legacy fraction triple above; unassigned remainder peers are sharers.
+  std::string population;
+
+  // --- adversary knobs (behaviors from the registry, DESIGN.md §12) ------
+  /// Upload volume each sybil-region member credits its fellow members.
+  Bytes sybil_claimed_upload = gib(10.0);
+  /// Upload volume a slanderer claims toward each victim.
+  Bytes slander_claimed_upload = gib(10.0);
+  /// How many of its real benefactors a slanderer defames per message.
+  std::size_t slander_victims = 5;
+  /// Fraction of the sharer seeding period a strategic uploader invests.
+  double strategic_seed_fraction = 0.1;
+  /// Duty-cycling of mobile-churner sessions: `mobile_duty_cycle` of every
+  /// `mobile_churn_period` online, the rest offline.
+  Seconds mobile_churn_period = 30.0 * kMinute;
+  double mobile_duty_cycle = 0.5;
 
   // --- sharer behaviour ---------------------------------------------------
   Seconds seed_duration = 10.0 * kHour;
@@ -73,6 +91,13 @@ struct ScenarioConfig {
   /// NDJSON line per metrics_snapshot_interval of sim time, plus a final
   /// partial window at finalize) to this path. See obs/stream.hpp.
   std::string metrics_stream_path;
+
+  /// Returns an empty string when the configuration is internally
+  /// consistent; otherwise a human-readable description of the first
+  /// problem (fractions out of range, disobeying fractions exceeding the
+  /// freerider pool, malformed population spec, ...). The simulator
+  /// fail-stops on a non-empty result at construction.
+  std::string validate() const;
 };
 
 }  // namespace bc::community

@@ -42,6 +42,8 @@ CommunitySimulator::CommunitySimulator(trace::Trace trace,
           config.seed ^ 0x70737321ULL, /*view_size=*/20, /*exchange_size=*/8}),
       metrics_(trace_.duration, config.series_bin) {
   BC_ASSERT_MSG(trace_.validate().empty(), "invalid trace");
+  const std::string config_error = config_.validate();
+  BC_ASSERT_MSG(config_error.empty(), config_error.c_str());
   BC_ASSERT(config_.round_interval > 0.0);
   BC_ASSERT(config_.optimistic_interval >= config_.round_interval);
   // One shard slot per parallel_for chunk (<= pool threads), so sharded
@@ -74,8 +76,8 @@ const CommunitySimulator::PeerState& CommunitySimulator::peer(
   return peers_[id];
 }
 
-Behavior CommunitySimulator::behavior(PeerId id) const {
-  return peer(id).behavior;
+const PeerBehavior& CommunitySimulator::behavior(PeerId id) const {
+  return *peer(id).behavior;
 }
 
 bool CommunitySimulator::is_initial_holder(PeerId id, SwarmId swarm_id) const {
@@ -96,14 +98,26 @@ void CommunitySimulator::setup_peers() {
   const std::size_t total = trace_.peers.size();
 
   Rng behavior_rng = rng_.fork();
-  const std::vector<Behavior> behaviors = assign_behaviors(
-      total, config_.freerider_fraction, config_.ignorer_fraction,
-      config_.liar_fraction, behavior_rng);
+  std::vector<const PeerBehavior*> behaviors;
+  if (config_.population.empty()) {
+    // Legacy fraction triple: bit-identical to the pre-registry enum
+    // assignment (same fork, same single shuffle; golden test pins it).
+    behaviors = assign_behaviors(total, config_.freerider_fraction,
+                                 config_.ignorer_fraction,
+                                 config_.liar_fraction, behavior_rng);
+  } else {
+    const auto spec = PopulationSpec::parse(config_.population);
+    BC_ASSERT(spec.has_value());  // ctor validated config_ already
+    behaviors = assign_population(total, spec->slices(total),
+                                  BehaviorRegistry::instance().at("sharer"),
+                                  behavior_rng);
+  }
 
   peers_.resize(total);
   for (PeerId id = 0; id < total; ++id) {
     PeerState& p = peers_[id];
     p.behavior = behaviors[id];
+    cohorts_[p.behavior].push_back(id);  // ascending: id loop order
     p.node = std::make_unique<bartercast::Node>(id, config_.node);
     overlay_.register_peer(
         id,
@@ -145,7 +159,7 @@ void CommunitySimulator::setup_swarms() {
   std::vector<PeerId> sharers, everyone;
   for (PeerId id = 0; id < peers_.size(); ++id) {
     everyone.push_back(id);
-    if (peers_[id].behavior == Behavior::kSharer) sharers.push_back(id);
+    if (!peers_[id].behavior->freerider()) sharers.push_back(id);
   }
   Rng holder_rng = rng_.fork();
   for (auto& ctx : swarms_) {
@@ -161,6 +175,15 @@ void CommunitySimulator::setup_swarms() {
 }
 
 void CommunitySimulator::schedule_trace_events() {
+  // Churn shaping rewrites sessions in place (attempt_join defers through
+  // trace_.peers[id].next_online, so the shaped schedule must be the one
+  // the trace holds). Dedicated stream, not rng_: default profiles draw
+  // nothing, keeping legacy scenarios on the exact pre-registry stream.
+  Rng churn_rng(config_.seed ^ 0x636875726eULL);
+  for (auto& profile : trace_.peers) {
+    peers_[profile.id].behavior->shape_sessions(profile.sessions, config_,
+                                                churn_rng);
+  }
   for (const auto& profile : trace_.peers) {
     const PeerId id = profile.id;
     for (const auto& session : profile.sessions) {
@@ -292,6 +315,7 @@ void CommunitySimulator::choke_swarm(SwarmId swarm_id,
       const Bytes moved = u_is_seed ? ctx.swarm.last_round_bytes(u, v)
                                     : ctx.swarm.last_round_bytes(v, u);
       c.rate = static_cast<Rate>(moved) / dt;
+      // bc-analyze: allow(P1) -- the gossip backend's score sweep is memoized per view version inside DifferentialGossipBackend, so its buffers are rebuilt once per view mutation, not per choke decision; the maxflow backend allocates nothing here
       c.reputation = use_reputation ? choker_reputation(u, v) : 0.0;
       candidates.push_back(c);
     }
@@ -347,6 +371,7 @@ void CommunitySimulator::round() {
       if (overlay_.online(m)) online_members[s].push_back(m);
     }
     total_online += online_members[s].size();
+    // bc-analyze: allow(P1) -- transitive image of choke_swarm's suppressed gossip-backend memo rebuild (amortized once per view version)
     choke_swarm(s, online_members[s]);
   }
 
@@ -459,7 +484,7 @@ void CommunitySimulator::round() {
       got = it->second;
     }
     const double speed = static_cast<double>(got) / dt;
-    if (is_freerider(st.behavior)) {
+    if (st.behavior->freerider()) {
       metrics_.speed_freeriders.add(now, speed);
     } else {
       metrics_.speed_sharers.add(now, speed);
@@ -496,26 +521,24 @@ void CommunitySimulator::handle_completion(SwarmId swarm_id, PeerId id) {
   ++p.files_completed;
   p.downloading.erase(swarm_id);
   auto& ctx = *swarms_[swarm_id];
-  if (is_freerider(p.behavior)) {
+  const Seconds seed_for = p.behavior->seed_duration(config_);
+  if (seed_for <= 0.0) {
     // "freeriders ... immediately leave the swarm after finishing" (§5.1).
     ctx.swarm.remove_peer(id);
     ctx.chokers.erase(id);
   } else {
-    // Sharers seed the file for the configured period (10 h in the paper).
-    ctx.seed_until[id] = now + config_.seed_duration;
+    // Sharers seed the file for the configured period (10 h in the paper);
+    // strategic uploaders invest their reduced budget here too.
+    ctx.seed_until[id] = now + seed_for;
   }
 }
 
 bartercast::BarterCastMessage CommunitySimulator::make_outgoing_message(
     PeerId id) {
   PeerState& p = peer(id);
-  const Seconds now = engine_.now();
-  if (lies(p.behavior)) {
-    return bartercast::build_lying_message(p.node->history(),
-                                           config_.node.selection,
-                                           config_.liar_claimed_upload, now);
-  }
-  return p.node->make_message(now);
+  MessageContext ctx{*p.node, config_, engine_.now(), id,
+                     &cohorts_.at(p.behavior)};
+  return p.behavior->make_message(ctx);
 }
 
 void CommunitySimulator::gossip_tick(PeerId id) {
@@ -533,7 +556,7 @@ void CommunitySimulator::gossip_tick(PeerId id) {
                     {"partner", std::to_string(partner)}});
   }
   peer(id).node->on_peer_seen(partner, engine_.now());
-  if (!sends_messages(peer(id).behavior)) return;
+  if (!peer(id).behavior->sends_messages()) return;
   auto payload = std::make_unique<BarterPayload>();
   payload->msg = make_outgoing_message(id);
   payload->is_reply = false;
@@ -584,7 +607,7 @@ void CommunitySimulator::on_barter_message(
   dropped_self_report.inc(stats.dropped_self_report);
   p.node->on_peer_seen(sender, engine_.now());
   // Bidirectional exchange: answer a fresh message with our own records.
-  if (!is_reply && sends_messages(p.behavior)) {
+  if (!is_reply && p.behavior->sends_messages()) {
     auto payload = std::make_unique<BarterPayload>();
     payload->msg = make_outgoing_message(receiver);
     payload->is_reply = true;
@@ -658,7 +681,7 @@ void CommunitySimulator::reputation_probe() {
   if (n < 2) return;
   const std::vector<double> reps = batch_system_reputations();
   for (PeerId i = 0; i < n; ++i) {
-    if (is_freerider(peer(i).behavior)) {
+    if (peer(i).behavior->freerider()) {
       metrics_.reputation_freeriders.add(now, reps[i]);
     } else {
       metrics_.reputation_sharers.add(now, reps[i]);
@@ -685,7 +708,8 @@ void CommunitySimulator::finalize() {
     PeerOutcome& o = metrics_.outcomes[i];
     const PeerState& p = peer(i);
     o.peer = i;
-    o.behavior = p.behavior;
+    o.behavior = std::string(p.behavior->name());
+    o.freerider = p.behavior->freerider();
     o.total_uploaded = p.total_up;
     o.total_downloaded = p.total_down;
     o.final_system_reputation = reps[i];
@@ -694,7 +718,7 @@ void CommunitySimulator::finalize() {
     o.time_downloading = p.time_downloading;
     o.late_downloaded = p.late_downloaded;
     o.late_time_downloading = p.late_time_downloading;
-    if (is_freerider(o.behavior)) {
+    if (o.freerider) {
       metrics_.reputation_hist_freeriders.add(o.final_system_reputation);
       reg_freeriders.add(o.final_system_reputation);
     } else {

@@ -51,7 +51,7 @@ class CommunitySimulator {
 
   std::size_t num_trace_peers() const { return trace_.peers.size(); }
   std::size_t num_total_peers() const { return peers_.size(); }
-  Behavior behavior(PeerId peer) const;
+  const PeerBehavior& behavior(PeerId peer) const;
 /// Whether `peer` is one of the swarm's initial holders (seeds the file
   /// permanently while online).
   bool is_initial_holder(PeerId peer, SwarmId swarm_id) const;
@@ -74,7 +74,7 @@ class CommunitySimulator {
 
  private:
   struct PeerState {
-    Behavior behavior = Behavior::kSharer;
+    const PeerBehavior* behavior = nullptr;
     std::unique_ptr<bartercast::Node> node;
     Bytes total_up = 0;
     Bytes total_down = 0;
@@ -166,6 +166,9 @@ class CommunitySimulator {
   gossip::PeerSamplingService pss_;
 
   std::vector<PeerState> peers_;  // one per trace peer
+  /// Peers per assigned behavior, ascending PeerId — the cohort handed to
+  /// the report-mutation hook (sybil regions coordinate through it).
+  std::unordered_map<const PeerBehavior*, std::vector<PeerId>> cohorts_;
   std::vector<std::unique_ptr<SwarmCtx>> swarms_;
 
   Metrics metrics_;

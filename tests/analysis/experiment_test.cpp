@@ -12,8 +12,8 @@ community::Metrics fake_metrics() {
   for (int i = 0; i < 4; ++i) {
     community::PeerOutcome o;
     o.peer = static_cast<PeerId>(i);
-    o.behavior = i < 2 ? community::Behavior::kSharer
-                       : community::Behavior::kLazyFreerider;
+    o.behavior = i < 2 ? "sharer" : "lazy-freerider";
+    o.freerider = i >= 2;
     o.total_uploaded = i < 2 ? gib(2.0 + i) : 0;
     o.total_downloaded = gib(1.0);
     o.final_system_reputation = i < 2 ? 0.3 + 0.1 * i : -0.4 - 0.1 * i;

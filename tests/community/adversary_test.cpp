@@ -53,10 +53,10 @@ TEST(Adversaries, IgnorersAreLessVisibleThanTalkers) {
   std::size_t ignorers = 0, talkers = 0;
   for (PeerId p = 0; p < sim.num_trace_peers(); ++p) {
     const double vis = static_cast<double>(evaluators_knowing(sim, p));
-    if (sim.behavior(p) == Behavior::kIgnoringFreerider) {
+    if (sim.behavior(p).name() == "ignoring-freerider") {
       ignorer_vis += vis;
       ++ignorers;
-    } else if (sim.behavior(p) == Behavior::kLazyFreerider) {
+    } else if (sim.behavior(p).name() == "lazy-freerider") {
       talker_vis += vis;
       ++talkers;
     }
@@ -84,10 +84,10 @@ TEST(Adversaries, LiarsBoostTheirOwnReputation) {
   double liar_rep = 0.0, lazy_rep = 0.0;
   std::size_t liars = 0, lazies = 0;
   for (const auto& o : sim.metrics().outcomes) {
-    if (o.behavior == Behavior::kLyingFreerider) {
+    if (o.behavior == "lying-freerider") {
       liar_rep += o.final_system_reputation;
       ++liars;
-    } else if (o.behavior == Behavior::kLazyFreerider) {
+    } else if (o.behavior == "lazy-freerider") {
       lazy_rep += o.final_system_reputation;
       ++lazies;
     }

@@ -4,53 +4,142 @@
 
 #include <algorithm>
 
+#include "community/scenario.hpp"
+
 namespace bc::community {
 namespace {
 
-std::size_t count(const std::vector<Behavior>& v, Behavior b) {
-  return static_cast<std::size_t>(std::count(v.begin(), v.end(), b));
+std::size_t count(const std::vector<const PeerBehavior*>& v,
+                  std::string_view name) {
+  return static_cast<std::size_t>(
+      std::count_if(v.begin(), v.end(), [&](const PeerBehavior* b) {
+        return b->name() == name;
+      }));
 }
 
-TEST(Behavior, Predicates) {
-  EXPECT_FALSE(is_freerider(Behavior::kSharer));
-  EXPECT_TRUE(is_freerider(Behavior::kLazyFreerider));
-  EXPECT_TRUE(is_freerider(Behavior::kIgnoringFreerider));
-  EXPECT_TRUE(is_freerider(Behavior::kLyingFreerider));
+TEST(BehaviorRegistry, BuiltinsAndPredicates) {
+  auto& reg = BehaviorRegistry::instance();
+  EXPECT_FALSE(reg.at("sharer").freerider());
+  EXPECT_TRUE(reg.at("lazy-freerider").freerider());
+  EXPECT_TRUE(reg.at("ignoring-freerider").freerider());
+  EXPECT_TRUE(reg.at("lying-freerider").freerider());
 
-  EXPECT_TRUE(sends_messages(Behavior::kSharer));
-  EXPECT_TRUE(sends_messages(Behavior::kLazyFreerider));
-  EXPECT_FALSE(sends_messages(Behavior::kIgnoringFreerider));
-  EXPECT_TRUE(sends_messages(Behavior::kLyingFreerider));
+  EXPECT_TRUE(reg.at("sharer").sends_messages());
+  EXPECT_TRUE(reg.at("lazy-freerider").sends_messages());
+  EXPECT_FALSE(reg.at("ignoring-freerider").sends_messages());
+  EXPECT_TRUE(reg.at("lying-freerider").sends_messages());
 
-  EXPECT_FALSE(lies(Behavior::kSharer));
-  EXPECT_TRUE(lies(Behavior::kLyingFreerider));
+  // The extended zoo is registered too.
+  EXPECT_NE(reg.find("sybil-region"), nullptr);
+  EXPECT_NE(reg.find("slanderer"), nullptr);
+  EXPECT_NE(reg.find("strategic-uploader"), nullptr);
+  EXPECT_NE(reg.find("mobile-churner"), nullptr);
+  EXPECT_FALSE(reg.at("mobile-churner").freerider());
 }
 
-TEST(Behavior, Names) {
-  EXPECT_EQ(behavior_name(Behavior::kSharer), "sharer");
-  EXPECT_EQ(behavior_name(Behavior::kLyingFreerider), "lying-freerider");
+TEST(BehaviorRegistry, AliasesAndNormalization) {
+  auto& reg = BehaviorRegistry::instance();
+  EXPECT_EQ(reg.find("lazy"), reg.find("lazy-freerider"));
+  EXPECT_EQ(reg.find("liar"), reg.find("lying-freerider"));
+  // '_' and '-' are interchangeable in lookups.
+  EXPECT_EQ(reg.find("sybil_region"), reg.find("sybil-region"));
+  EXPECT_EQ(reg.find("no-such-behavior"), nullptr);
+}
+
+TEST(BehaviorRegistry, NamesAreSortedCanonical) {
+  const auto names = BehaviorRegistry::instance().names();
+  EXPECT_GE(names.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // Aliases are not listed.
+  EXPECT_EQ(std::find(names.begin(), names.end(), "lazy"), names.end());
+}
+
+TEST(Behavior, SeedDurationPolicy) {
+  ScenarioConfig cfg;
+  auto& reg = BehaviorRegistry::instance();
+  EXPECT_DOUBLE_EQ(reg.at("sharer").seed_duration(cfg), cfg.seed_duration);
+  EXPECT_DOUBLE_EQ(reg.at("lazy-freerider").seed_duration(cfg), 0.0);
+  EXPECT_DOUBLE_EQ(reg.at("strategic-uploader").seed_duration(cfg),
+                   cfg.strategic_seed_fraction * cfg.seed_duration);
+}
+
+TEST(PopulationSpec, ParsesNameFractionList) {
+  std::string error;
+  const auto spec =
+      PopulationSpec::parse("sharer:0.5, lazy:0.3,sybil_region:0.1", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_EQ(spec->entries.size(), 3u);
+  EXPECT_EQ(spec->entries[0].name, "sharer");
+  EXPECT_DOUBLE_EQ(spec->entries[0].fraction, 0.5);
+  EXPECT_EQ(spec->entries[2].name, "sybil_region");
+  EXPECT_TRUE(spec->validate().empty()) << spec->validate();
+}
+
+TEST(PopulationSpec, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(PopulationSpec::parse("sharer", &error).has_value());
+  EXPECT_NE(error.find("name:fraction"), std::string::npos);
+  EXPECT_FALSE(PopulationSpec::parse("sharer:", &error).has_value());
+  EXPECT_FALSE(PopulationSpec::parse(":0.5", &error).has_value());
+  EXPECT_FALSE(PopulationSpec::parse("a:0.1,,b:0.2", &error).has_value());
+  EXPECT_FALSE(PopulationSpec::parse("sharer:abc", &error).has_value());
+  EXPECT_NE(error.find("not a number"), std::string::npos);
+}
+
+TEST(PopulationSpec, ValidateCatchesSemanticErrors) {
+  auto spec = PopulationSpec::parse("nonexistent:0.5");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NE(spec->validate().find("unknown behavior"), std::string::npos);
+
+  spec = PopulationSpec::parse("sharer:1.5");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NE(spec->validate().find("within [0, 1]"), std::string::npos);
+
+  spec = PopulationSpec::parse("sharer:0.8,lazy:0.8");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NE(spec->validate().find("sum"), std::string::npos);
+}
+
+TEST(PopulationSpec, SlicesRoundAndClamp) {
+  const auto spec = PopulationSpec::parse("lazy:0.5,sybil:0.25");
+  ASSERT_TRUE(spec.has_value());
+  const auto slices = spec->slices(30);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].count, 15u);
+  EXPECT_EQ(slices[1].count, 8u);  // lround(7.5) rounds half away from zero
+}
+
+TEST(AssignPopulation, FillsRemainderWithFallback) {
+  Rng rng(11);
+  auto& reg = BehaviorRegistry::instance();
+  const std::vector<PopulationSlice> slices = {
+      {&reg.at("lazy-freerider"), 3}, {&reg.at("sybil-region"), 2}};
+  const auto v = assign_population(10, slices, reg.at("sharer"), rng);
+  EXPECT_EQ(count(v, "lazy-freerider"), 3u);
+  EXPECT_EQ(count(v, "sybil-region"), 2u);
+  EXPECT_EQ(count(v, "sharer"), 5u);
 }
 
 TEST(AssignBehaviors, ExactCounts) {
   Rng rng(1);
   const auto v = assign_behaviors(100, 0.5, 0.1, 0.2, rng);
   EXPECT_EQ(v.size(), 100u);
-  EXPECT_EQ(count(v, Behavior::kSharer), 50u);
-  EXPECT_EQ(count(v, Behavior::kIgnoringFreerider), 10u);
-  EXPECT_EQ(count(v, Behavior::kLyingFreerider), 20u);
-  EXPECT_EQ(count(v, Behavior::kLazyFreerider), 20u);
+  EXPECT_EQ(count(v, "sharer"), 50u);
+  EXPECT_EQ(count(v, "ignoring-freerider"), 10u);
+  EXPECT_EQ(count(v, "lying-freerider"), 20u);
+  EXPECT_EQ(count(v, "lazy-freerider"), 20u);
 }
 
 TEST(AssignBehaviors, AllSharers) {
   Rng rng(2);
   const auto v = assign_behaviors(10, 0.0, 0.0, 0.0, rng);
-  EXPECT_EQ(count(v, Behavior::kSharer), 10u);
+  EXPECT_EQ(count(v, "sharer"), 10u);
 }
 
 TEST(AssignBehaviors, AllFreeriders) {
   Rng rng(3);
   const auto v = assign_behaviors(10, 1.0, 0.0, 0.0, rng);
-  EXPECT_EQ(count(v, Behavior::kLazyFreerider), 10u);
+  EXPECT_EQ(count(v, "lazy-freerider"), 10u);
 }
 
 TEST(AssignBehaviors, DeterministicInRng) {
@@ -65,7 +154,7 @@ TEST(AssignBehaviors, AssignmentIsShuffled) {
   // The first 50 peers must not all be freeriders (random placement).
   std::size_t first_half_freeriders = 0;
   for (std::size_t i = 0; i < 50; ++i) {
-    if (is_freerider(v[i])) ++first_half_freeriders;
+    if (v[i]->freerider()) ++first_half_freeriders;
   }
   EXPECT_GT(first_half_freeriders, 10u);
   EXPECT_LT(first_half_freeriders, 40u);

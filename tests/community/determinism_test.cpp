@@ -49,7 +49,7 @@ std::string fingerprint(const Metrics& m) {
   put_series(out, m.speed_sharers);
   put_series(out, m.speed_freeriders);
   for (const auto& o : m.outcomes) {
-    out << o.peer << ',' << static_cast<int>(o.behavior) << ','
+    out << o.peer << ',' << o.behavior << ','
         << o.total_uploaded << ',' << o.total_downloaded << ','
         << o.files_requested << ',' << o.files_completed << ',';
     put_double(out, o.final_system_reputation);

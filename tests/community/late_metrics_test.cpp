@@ -5,9 +5,10 @@
 namespace bc::community {
 namespace {
 
-PeerOutcome outcome(Behavior b, Bytes late_bytes, Seconds late_time) {
+PeerOutcome outcome(bool freerider, Bytes late_bytes, Seconds late_time) {
   PeerOutcome o;
-  o.behavior = b;
+  o.freerider = freerider;
+  o.behavior = freerider ? "lazy-freerider" : "sharer";
   o.late_downloaded = late_bytes;
   o.late_time_downloading = late_time;
   return o;
@@ -15,19 +16,25 @@ PeerOutcome outcome(Behavior b, Bytes late_bytes, Seconds late_time) {
 
 TEST(LateClassSpeed, PoolsAcrossClassMembers) {
   Metrics m(kDay, kHour);
-  m.outcomes.push_back(outcome(Behavior::kSharer, 1000, 10.0));
-  m.outcomes.push_back(outcome(Behavior::kSharer, 3000, 10.0));
-  m.outcomes.push_back(outcome(Behavior::kLazyFreerider, 500, 5.0));
+  m.outcomes.push_back(outcome(false, 1000, 10.0));
+  m.outcomes.push_back(outcome(false, 3000, 10.0));
+  m.outcomes.push_back(outcome(true, 500, 5.0));
   // Pooled: (1000+3000)/(10+10) = 200; freeriders: 500/5 = 100.
   EXPECT_DOUBLE_EQ(m.late_class_speed(false), 200.0);
   EXPECT_DOUBLE_EQ(m.late_class_speed(true), 100.0);
 }
 
 TEST(LateClassSpeed, AllFreeriderKindsCount) {
+  // The class split keys on the freerider flag, not the behavior name.
   Metrics m(kDay, kHour);
-  m.outcomes.push_back(outcome(Behavior::kLazyFreerider, 100, 1.0));
-  m.outcomes.push_back(outcome(Behavior::kIgnoringFreerider, 200, 1.0));
-  m.outcomes.push_back(outcome(Behavior::kLyingFreerider, 300, 1.0));
+  auto lazy = outcome(true, 100, 1.0);
+  auto ignoring = outcome(true, 200, 1.0);
+  ignoring.behavior = "ignoring-freerider";
+  auto lying = outcome(true, 300, 1.0);
+  lying.behavior = "lying-freerider";
+  m.outcomes.push_back(lazy);
+  m.outcomes.push_back(ignoring);
+  m.outcomes.push_back(lying);
   EXPECT_DOUBLE_EQ(m.late_class_speed(true), 200.0);
   EXPECT_DOUBLE_EQ(m.late_class_speed(false), 0.0);
 }
@@ -40,8 +47,8 @@ TEST(LateClassSpeed, EmptyClassIsZero) {
 
 TEST(LateClassSpeed, ZeroTimePeersIgnoredInDenominator) {
   Metrics m(kDay, kHour);
-  m.outcomes.push_back(outcome(Behavior::kSharer, 0, 0.0));
-  m.outcomes.push_back(outcome(Behavior::kSharer, 100, 1.0));
+  m.outcomes.push_back(outcome(false, 0, 0.0));
+  m.outcomes.push_back(outcome(false, 100, 1.0));
   EXPECT_DOUBLE_EQ(m.late_class_speed(false), 100.0);
 }
 

@@ -88,7 +88,7 @@ TEST(Simulator, FreeridersNeverSeed) {
   CommunitySimulator sim(small_trace(5), small_scenario(5));
   sim.run();
   for (const auto& o : sim.metrics().outcomes) {
-    if (!is_freerider(o.behavior)) continue;
+    if (!o.freerider) continue;
     // A freerider may upload via tit-for-tat *while* downloading, but its
     // upload must stay below what sharers achieve by seeding. The hard
     // guarantee testable here: it left every completed swarm.
@@ -121,7 +121,7 @@ TEST(Simulator, IgnorersSendNothing) {
   // Origin seeders still gossip with each other, but records about trace
   // transfers can only come from origin seeders' own histories.
   for (PeerId p = 0; p < sim.num_trace_peers(); ++p) {
-    EXPECT_EQ(sim.behavior(p), Behavior::kIgnoringFreerider);
+    EXPECT_EQ(sim.behavior(p).name(), "ignoring-freerider");
   }
 }
 
@@ -133,7 +133,7 @@ TEST(Simulator, ReputationSignSeparatesClasses) {
   double sharer_sum = 0.0, freerider_sum = 0.0;
   std::size_t sharers = 0, freeriders = 0;
   for (const auto& o : sim.metrics().outcomes) {
-    if (is_freerider(o.behavior)) {
+    if (o.freerider) {
       freerider_sum += o.final_system_reputation;
       ++freeriders;
     } else {
@@ -167,7 +167,7 @@ TEST(Simulator, InitialHoldersSeedFromTheStart) {
       if (!sim.is_initial_holder(p, s)) continue;
       ++holders;
       // A holder is a community sharer already complete in that swarm.
-      EXPECT_EQ(sim.behavior(p), Behavior::kSharer);
+      EXPECT_EQ(sim.behavior(p).name(), "sharer");
       EXPECT_TRUE(sim.swarm(s).has_peer(p));
       EXPECT_TRUE(sim.swarm(s).is_complete(p));
     }
@@ -194,8 +194,8 @@ TEST(Simulator, BehaviorFractionsHonoured) {
   CommunitySimulator sim(std::move(tr), cfg);
   std::size_t liars = 0, freeriders = 0;
   for (PeerId p = 0; p < sim.num_trace_peers(); ++p) {
-    if (sim.behavior(p) == Behavior::kLyingFreerider) ++liars;
-    if (is_freerider(sim.behavior(p))) ++freeriders;
+    if (sim.behavior(p).name() == "lying-freerider") ++liars;
+    if (sim.behavior(p).freerider()) ++freeriders;
   }
   EXPECT_EQ(freeriders, 8u);
   EXPECT_EQ(liars, 4u);
